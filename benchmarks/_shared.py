@@ -1,0 +1,55 @@
+"""Shared, lazily-built artifacts for the benchmark suite.
+
+Building the six corpus programs and protecting each with four
+strategies is expensive; everything is cached at module scope so the
+whole suite builds each artifact exactly once.
+"""
+
+from functools import lru_cache
+
+from repro.core import Parallax, ProtectConfig, STRATEGIES
+from repro.corpus import PROGRAM_NAMES, build_program
+from repro.emu import Emulator
+
+MAX_STEPS = 300_000_000
+
+
+@lru_cache(maxsize=None)
+def program(name):
+    return build_program(name)
+
+
+@lru_cache(maxsize=None)
+def baseline_run(name):
+    result = program(name).run(max_steps=MAX_STEPS)
+    assert not result.crashed, (name, result.fault)
+    return result
+
+
+@lru_cache(maxsize=None)
+def protected(name, strategy):
+    config = ProtectConfig(
+        strategy=strategy, verification_functions=[f"digest_{name}"]
+    )
+    return Parallax(config).protect(program(name))
+
+
+@lru_cache(maxsize=None)
+def protected_run(name, strategy):
+    result = protected(name, strategy).run(max_steps=MAX_STEPS)
+    base = baseline_run(name)
+    assert not result.crashed, (name, strategy, result.fault)
+    assert result.stdout == base.stdout, (name, strategy)
+    return result
+
+
+def digest_call_cycles(name, image):
+    """Cycles for one verification-function call on ``image``."""
+    prog = program(name)
+    emulator = Emulator(image, max_steps=20_000_000)
+    before = emulator.cycles
+    emulator.call_function(
+        image.symbols[f"digest_{name}"].vaddr,
+        [12345, 7, prog.data.addr("stats")],
+    )
+    return emulator.cycles - before

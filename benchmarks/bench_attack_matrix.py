@@ -1,0 +1,78 @@
+"""§VI / §IX — the attack matrix.
+
+Static tampering vs the Wurster instruction-cache attack, against an
+unprotected binary, self-checksumming, and Parallax.  Expected:
+
+=============  ============  =======================
+scheme         static patch  wurster i-cache patch
+=============  ============  =======================
+unprotected    undetected    undetected
+checksumming   DETECTED      undetected  <- Wurster's result
+parallax       DETECTED      DETECTED    <- the paper's contribution
+=============  ============  =======================
+"""
+
+import pytest
+
+from repro.attacks import evaluate_patch_attack, evaluate_wurster_attack
+from repro.baselines import ChecksummedProgram
+from repro.binary import Patch
+from repro.core import Parallax, ProtectConfig
+from repro.corpus import build_gzip
+
+COLD_FUNCTION = "gz_fill_005"
+
+
+def _setting():
+    program = build_gzip(blocks=2, positions=6)
+    goal = program.run()
+    cold = program.image.symbols[COLD_FUNCTION]
+    parallax = Parallax(
+        ProtectConfig(
+            strategy="cleartext",
+            verification_functions=["digest_gzip"],
+            protect_addresses=list(range(cold.vaddr, cold.end)),
+        )
+    ).protect(program)
+    checksummed = ChecksummedProgram(build_gzip(blocks=2, positions=6), guards=3)
+    return program, goal, parallax, checksummed
+
+
+def _patch(image, protected=None):
+    symbol = image.symbols[COLD_FUNCTION]
+    if protected is not None:
+        addr = next(
+            a for a in protected.report.chains[0].gadget_addresses
+            if symbol.vaddr <= a < symbol.end
+        )
+    else:
+        addr = symbol.vaddr + 8
+    old = image.read(addr, 1)
+    return Patch(addr, old, bytes([old[0] ^ 0xFF]))
+
+
+def test_attack_matrix(benchmark):
+    def run_matrix():
+        program, goal, parallax, checksummed = _setting()
+        rows = {}
+        for label, image, prot in (
+            ("unprotected", program.image, None),
+            ("checksumming", checksummed.image, None),
+            ("parallax", parallax.image, parallax),
+        ):
+            patch = _patch(image, prot)
+            rows[label] = (
+                evaluate_patch_attack(image, [patch], goal, label).detected,
+                evaluate_wurster_attack(image, [patch], goal, label).detected,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print()
+    print("=== Attack matrix (static, wurster) detected? ===")
+    for label, (static, wurster) in rows.items():
+        print(f"{label:<14} static={'DETECTED' if static else 'undetected':<12} "
+              f"wurster={'DETECTED' if wurster else 'undetected'}")
+    assert rows["unprotected"] == (False, False)
+    assert rows["checksumming"] == (True, False)   # Wurster defeats it
+    assert rows["parallax"] == (True, True)        # Parallax does not care

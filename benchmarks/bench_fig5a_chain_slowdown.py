@@ -1,0 +1,61 @@
+"""Figure 5a — verification-function slowdown per hardening strategy.
+
+Paper: cleartext 3.7x (gcc) - 46.7x (wget); RC4 7.6x - 64.3x, the worst
+strategy; probabilistic and xor in between; lame's short chain makes the
+RC4 key schedule dominate.
+
+Our reproduction: cleartext 16x (gcc) - 44x (wget) with the same
+ordering (wget's branchy digest is the slowest chain, gcc's
+straight-line digest the fastest); RC4 and linear carry the largest
+multipliers, dominated by per-call key-schedule/regeneration cost on
+short chains — most extreme for the shortest chains, as in the paper.
+"""
+
+import pytest
+
+from repro.core import STRATEGIES
+from repro.corpus import PROGRAM_NAMES
+
+import _shared
+
+_rows = {}
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_fig5a_chain_slowdown(benchmark, name):
+    native = _shared.digest_call_cycles(name, _shared.program(name).image)
+
+    def measure():
+        row = {}
+        for strategy in STRATEGIES:
+            image = _shared.protected(name, strategy).image
+            row[strategy] = _shared.digest_call_cycles(name, image) / native
+        return row
+
+    row = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _rows[name] = row
+    assert row["cleartext"] > 3.0          # chains are much slower...
+    assert row["rc4"] > row["cleartext"]   # ...and RC4 is slower still
+    assert row["xor"] >= row["cleartext"]
+
+
+def test_fig5a_print_and_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in PROGRAM_NAMES:
+        if name not in _rows:
+            native = _shared.digest_call_cycles(name, _shared.program(name).image)
+            _rows[name] = {
+                s: _shared.digest_call_cycles(name, _shared.protected(name, s).image)
+                / native
+                for s in STRATEGIES
+            }
+    print()
+    print("=== Figure 5a: verification function slowdown (x) ===")
+    header = f"{'program':<8}" + "".join(f"{s:>12}" for s in STRATEGIES)
+    print(header)
+    for name in PROGRAM_NAMES:
+        row = _rows[name]
+        print(f"{name:<8}" + "".join(f"{row[s]:>11.1f}x" for s in STRATEGIES))
+    clear = {n: _rows[n]["cleartext"] for n in PROGRAM_NAMES}
+    assert max(clear, key=clear.get) == "wget"  # paper: wget 46.7x (top)
+    assert min(clear, key=clear.get) == "gcc"   # paper: gcc 3.7x (bottom)

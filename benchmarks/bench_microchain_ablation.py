@@ -1,0 +1,64 @@
+"""§V-C ablation — function chains vs instruction-level µ-chains.
+
+The paper implemented both and found µ-chains cost about 2x more,
+"because each µ-chain contains its own prologue and epilogue", and kept
+function chains.  Both are implemented here; the comparison below runs
+the same verification function both ways.
+"""
+
+import pytest
+
+import _shared
+from repro.core import protect_microchains
+from repro.corpus import build_gzip, build_lame, build_wget
+from repro.emu import Emulator
+
+BUILDERS = {
+    "wget": lambda: build_wget(blocks=2, chunks=10),
+    "gzip": lambda: build_gzip(blocks=2, positions=6),
+    "lame": lambda: build_lame(blocks=2, frames=6),
+}
+
+
+def _call_cost(program, image, name):
+    emulator = Emulator(image, max_steps=10_000_000)
+    before = emulator.cycles
+    emulator.call_function(
+        image.symbols[name].vaddr, [12345, 7, program.data.addr("stats")]
+    )
+    return emulator.cycles - before
+
+
+def test_microchain_ablation(benchmark):
+    def measure():
+        from repro.core import Parallax, ProtectConfig
+
+        rows = {}
+        for name, build in BUILDERS.items():
+            program = build()
+            digest = f"digest_{name}"
+            baseline = program.run()
+            func = Parallax(
+                ProtectConfig(strategy="cleartext", verification_functions=[digest])
+            ).protect(program)
+            micro = protect_microchains(program, digest)
+            result = micro.run()
+            assert not result.crashed and result.stdout == baseline.stdout
+
+            native = _call_cost(program, program.image, digest)
+            func_cost = _call_cost(program, func.image, digest)
+            micro_cost = _call_cost(program, micro.image, digest)
+            rows[name] = (native, func_cost, micro_cost, micro.chain_count)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print("=== §V-C: function chains vs µ-chains (measured, per call) ===")
+    print(f"{'program':<8}{'native':>8}{'func chain':>12}{'µ-chains':>10}"
+          f"{'µ/func':>8}{'count':>7}")
+    for name, (native, func_cost, micro_cost, count) in rows.items():
+        print(f"{name:<8}{native:>8}{func_cost:>12}{micro_cost:>10}"
+              f"{micro_cost / func_cost:>7.2f}x{count:>7}")
+    # the paper's finding: µ-chains are substantially more expensive
+    for name, (_n, func_cost, micro_cost, _c) in rows.items():
+        assert micro_cost > func_cost * 1.3, name

@@ -1,0 +1,200 @@
+"""The paper's running example (§IV-A): a tamperproofed ptrace detector.
+
+A hand-built anti-debugging check is protected the Parallax way, using
+two of the §IV-B rewriting rules:
+
+* **jump-offset rule** (Listing 1's trick): the ``js traced`` branch is
+  laid out so its displacement byte equals 0xc3 — a ``ret`` instruction
+  the verification chain bounces through;
+* **immediate rule**: the detector's ``mov eax, <success>`` constant is
+  chosen so its bytes embed a ``pop eax; ret`` gadget (legal because
+  return values only distinguish zero from non-zero).
+
+The verification function is translated into a ROP chain that uses both
+overlapping gadgets.  The classic cracks then fail:
+
+* Listing 2 (nop out the branch) destroys the ret the chain bounces
+  through mid-computation — the chain's result is corrupted;
+* rewriting the success immediate destroys the embedded pop gadget —
+  the chain crashes.
+
+Run:  python examples/ptrace_detector.py
+"""
+
+from repro.binary import BinaryImage, Perm, Section
+from repro.core.stubs import build_loader_stub
+from repro.emu import run_image
+from repro.gadgets import GadgetCatalog, GadgetKind, GadgetOp, find_gadgets_in_bytes
+from repro.ropc import RopCompiler, emit_standard_gadgets, ir
+from repro.ropc.chain import ChainLabel, KindWord
+from repro.x86 import Assembler, EAX, EBX, ECX, EDX, Imm
+
+TEXT = 0x08048000
+GADGETS = 0x08060000
+STUB = 0x08070000
+ROPDATA = 0x08090000
+CHAIN = 0x08091000
+
+#: non-zero success value whose low bytes encode "pop eax; ret" (58 c3)
+SUCCESS_WITH_GADGET = 0x0001C358
+
+#: the js displacement we force by layout: 0xc3 == -61
+RET_DISPLACEMENT = -61
+
+
+def build_detector_image():
+    """Assemble the detector + main with Listing-1 gadget overlaps."""
+    a = Assembler(base=TEXT)
+
+    # The cleanup path is *relocated* so that the branch to it encodes a
+    # ret opcode in its displacement (the paper aligned a function; we
+    # pad the same way).
+    a.label("traced")
+    a.xor(EAX, EAX)
+    a.ret()
+    a.pad_to(44, fill=0xCC)               # layout engineering
+
+    a.label("check_ptrace")
+    a.mov(EAX, 26)                        # SYS_PTRACE
+    a.xor(EBX, EBX)                       # PTRACE_TRACEME
+    a.xor(ECX, ECX)
+    a.xor(EDX, EDX)
+    a.int(0x80)
+    a.test(EAX, EAX)
+    a.label("js_site")
+    a.raw(b"\x78" + (RET_DISPLACEMENT & 0xFF).to_bytes(1, "little"))  # js traced
+    a.label("success_mov")
+    a.mov(EAX, Imm(SUCCESS_WITH_GADGET, 32))  # protected immediate
+    a.ret()
+
+    a.align(16)
+    a.label("main")
+    a.call("check_ptrace")
+    a.test(EAX, EAX)
+    a.jne("not_traced")
+    a.mov(EBX, 99)                        # refuse to run under a debugger
+    a.mov(EAX, 1)
+    a.int(0x80)
+    a.label("not_traced")
+    # run the verification chain (stub at STUB), exit with its result
+    a.push(Imm(7, 32))
+    a.mov(EAX, Imm(STUB, 32))
+    a.call(EAX)
+    a.pop(ECX)
+    a.mov(EBX, EAX)                       # expected: verify(7) == 42
+    a.mov(EAX, 1)
+    a.int(0x80)
+    code = a.assemble()
+
+    # sanity: the branch displacement really is a ret opcode, and it
+    # really reaches the traced block
+    js = a.address_of("js_site")
+    assert code[js - TEXT + 1] == 0xC3
+    assert js + 2 + RET_DISPLACEMENT == a.address_of("traced")
+
+    image = BinaryImage("ptrace_demo")
+    image.add_section(Section(".text", TEXT, code, Perm.RX))
+    image.entry = a.address_of("main")
+    image.add_function(
+        "check_ptrace",
+        a.address_of("check_ptrace"),
+        a.address_of("main") - a.address_of("check_ptrace"),
+    )
+    return image, a.address_of("js_site"), a.address_of("success_mov")
+
+
+def verification_function():
+    """verify(x): translated to a chain; returns 6*x (42 for x=7)."""
+    f = ir.IRFunction("verify", params=1)
+    f.emit(ir.Param(EBX, 0))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Const(ECX, 6))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.BinOp("add", EAX, EBX))
+    f.emit(ir.AddConst(ECX, 0xFFFFFFFF))
+    f.emit(ir.Branch("ne", ECX, 0, "loop"))
+    f.emit(ir.Ret())
+    return f
+
+
+def protect(image, js_addr, success_mov_addr):
+    """Compile the verification chain over the two overlapping gadgets."""
+    compiler = RopCompiler(frame_cell=ROPDATA, resume_cell=ROPDATA + 4)
+    chain = compiler.compile(verification_function())
+    # Bounce through the ret hidden in the js displacement right before
+    # the result is committed (after the loop's fall-through label):
+    # nop-ing the branch then derails the chain mid-computation.
+    last_label = max(
+        i for i, item in enumerate(chain.items) if isinstance(item, ChainLabel)
+    )
+    chain.items.insert(last_label + 1, KindWord(GadgetKind(GadgetOp.NOP)))
+
+    text = image.text
+    discovered = find_gadgets_in_bytes(bytes(text.data), base=TEXT)
+    embedded_pop = [g for g in discovered if g.address == success_mov_addr + 1]
+    assert embedded_pop and embedded_pop[0].kind.op == GadgetOp.LOAD_CONST
+    ret_in_offset = [g for g in discovered if g.address == js_addr + 1]
+    assert ret_in_offset and ret_in_offset[0].kind.op == GadgetOp.NOP
+
+    gcode, standard = emit_standard_gadgets(chain.required_kinds(), base=GADGETS)
+    catalog = GadgetCatalog(standard)
+    catalog.add(embedded_pop[0], preferred=True)
+    catalog.add(ret_in_offset[0], preferred=True)
+
+    resolved = chain.resolve(catalog)
+    payload = resolved.to_bytes(CHAIN)
+    stub = build_loader_stub(STUB, ROPDATA, ROPDATA + 4, CHAIN)
+
+    image.add_section(Section(".gadgets", GADGETS, gcode, Perm.RX))
+    image.add_section(Section(".stubs", STUB, stub.code, Perm.RX))
+    image.add_section(Section(".ropdata", ROPDATA, bytes(64), Perm.RW))
+    image.add_section(Section(".ropchains", CHAIN, payload, Perm.RW))
+
+    used = {
+        item.gadget.address
+        for item in resolved.items
+        if isinstance(item, KindWord) and item.gadget is not None
+    }
+    assert embedded_pop[0].address in used, "chain must use the pop gadget"
+    assert ret_in_offset[0].address in used, "chain must bounce off the js ret"
+    return image
+
+
+def crack_listing2(image, js_addr):
+    """Listing 2: nop out the jump to the cleanup path."""
+    tampered = image.clone()
+    tampered.write(js_addr, b"\x90\x90")
+    return tampered
+
+
+def crack_immediate(image, js_addr, success_mov_addr):
+    """Stronger crack: nop the branch AND normalize the odd-looking
+    success constant (destroying the embedded pop gadget)."""
+    tampered = image.clone()
+    tampered.write(js_addr, b"\x90\x90")
+    tampered.write(success_mov_addr, b"\xb8\x01\x00\x00\x00")
+    return tampered
+
+
+def main():
+    image, js_addr, mov_addr = build_detector_image()
+    protected = protect(image, js_addr, mov_addr)
+
+    pristine = run_image(protected)
+    print("pristine, no debugger :", pristine)
+    print("pristine, debugger    :", run_image(protected, debugger_attached=True))
+    assert pristine.exit_status == 42
+
+    listing2 = run_image(crack_listing2(protected, js_addr), debugger_attached=True)
+    print("Listing-2 crack       :", listing2)
+    immediate = run_image(crack_immediate(protected, js_addr, mov_addr), debugger_attached=True)
+    print("immediate crack       :", immediate)
+    print()
+    print("Both cracks bypass the ptrace check but destroy a gadget the")
+    print("verification chain uses: the tamper response is the program")
+    print(f"malfunctioning (exit {listing2.exit_status}/{immediate.exit_status},"
+          " crash or wrong result instead of 42).")
+
+
+if __name__ == "__main__":
+    main()

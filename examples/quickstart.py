@@ -1,0 +1,34 @@
+"""Quickstart: protect a corpus program and watch it still work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Parallax, ProtectConfig, build_program
+from repro.corpus import build_wget
+
+
+def main():
+    # Small workload so the demo runs in seconds; drop the arguments for
+    # the full benchmark-sized binary.
+    program = build_wget(blocks=2, chunks=10)
+    print(f"built {program}")
+
+    baseline = program.run()
+    print(f"baseline run : {baseline}  stdout={baseline.stdout!r}")
+
+    protector = Parallax(ProtectConfig(strategy="xor"))
+    protected = protector.protect(program)
+    print()
+    print(protected.report.summary())
+
+    result = protected.run()
+    print()
+    print(f"protected run: {result}  stdout={result.stdout!r}")
+    assert result.stdout == baseline.stdout
+    assert result.exit_status == baseline.exit_status
+    overhead = 100 * (result.cycles / baseline.cycles - 1)
+    print(f"behaviour identical; whole-program overhead {overhead:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

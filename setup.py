@@ -1,0 +1,6 @@
+"""Legacy setup shim — offline environments without the wheel package
+cannot use PEP 517 editable installs, so we keep a setup.py entry point."""
+
+from setuptools import setup
+
+setup()

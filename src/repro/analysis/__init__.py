@@ -1,0 +1,13 @@
+"""Program analysis helpers: call graphs, CFGs, selection metrics."""
+
+from .callgraph import CallGraph, callgraph_from_binary, callgraph_from_ir
+from .cfg import BasicBlock, FunctionCFG, cfg_for_function
+
+__all__ = [
+    "CallGraph",
+    "callgraph_from_binary",
+    "callgraph_from_ir",
+    "BasicBlock",
+    "FunctionCFG",
+    "cfg_for_function",
+]

@@ -1,0 +1,92 @@
+"""Static call graphs, from IR or from binary code.
+
+The verification-function selection algorithm (§VII-B step 1) "analyzes
+the call graph of the program to find functions which are called
+repeatedly from several locations".  Both views are provided: the IR
+view for corpus programs, and a binary view recovered by decoding
+``call rel32`` targets — the latter is what a pure binary-level
+deployment would use.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set
+
+from ..binary.image import BinaryImage
+from ..ropc import ir
+from ..x86.decoder import decode_all
+
+
+class CallGraph:
+    """Directed multigraph of function calls; edges count call *sites*."""
+
+    def __init__(self):
+        self._sites: Dict[str, Set[tuple]] = defaultdict(set)
+        self.functions: Set[str] = set()
+
+    def add_function(self, name: str) -> None:
+        self.functions.add(name)
+
+    def add_call_site(self, caller: str, callee: str, site) -> None:
+        self.functions.add(caller)
+        self.functions.add(callee)
+        self._sites[callee].add((caller, site))
+
+    def call_sites(self, callee: str) -> int:
+        """Number of distinct static call sites targeting ``callee``."""
+        return len(self._sites.get(callee, ()))
+
+    def callers(self, callee: str) -> Set[str]:
+        return {caller for caller, _ in self._sites.get(callee, ())}
+
+    def fan_in(self, callee: str) -> int:
+        """Number of distinct calling functions."""
+        return len(self.callers(callee))
+
+    def callees(self, caller: str) -> Set[str]:
+        out = set()
+        for callee, sites in self._sites.items():
+            if any(c == caller for c, _ in sites):
+                out.add(callee)
+        return out
+
+    def leaves(self) -> Set[str]:
+        """Functions that call nothing."""
+        return {f for f in self.functions if not self.callees(f)}
+
+
+def callgraph_from_ir(functions: Iterable[ir.IRFunction]) -> CallGraph:
+    """Build a call graph from IR Call ops."""
+    graph = CallGraph()
+    for function in functions:
+        graph.add_function(function.name)
+        for index, op in enumerate(function.body):
+            if isinstance(op, ir.Call):
+                graph.add_call_site(function.name, op.callee, index)
+    return graph
+
+
+def callgraph_from_binary(image: BinaryImage) -> CallGraph:
+    """Recover a call graph by decoding direct calls in the image."""
+    graph = CallGraph()
+    symbols = image.symbols
+    for symbol in symbols.functions():
+        graph.add_function(symbol.name)
+    for symbol in symbols.functions():
+        try:
+            instructions = decode_all(
+                image.read(symbol.vaddr, symbol.size), address=symbol.vaddr
+            )
+        except Exception:
+            continue
+        for insn in instructions:
+            if insn.mnemonic != "call":
+                continue
+            target = insn.branch_target()
+            if target is None:
+                continue
+            callee = symbols.at(target)
+            if callee is not None and callee.vaddr == target:
+                graph.add_call_site(symbol.name, callee.name, insn.address)
+    return graph

@@ -1,0 +1,102 @@
+"""Intra-function control-flow graphs over decoded binary code.
+
+Used by the rewriting engine to find instruction boundaries, basic
+blocks, and the jump/call instructions the offset-modification rule
+targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..x86.decoder import decode_all
+from ..x86.instruction import Instruction
+
+
+class BasicBlock:
+    """Maximal straight-line instruction run."""
+
+    __slots__ = ("start", "instructions")
+
+    def __init__(self, start: int, instructions: List[Instruction]):
+        self.start = start
+        self.instructions = instructions
+
+    @property
+    def end(self) -> int:
+        last = self.instructions[-1]
+        return last.address + last.length
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    def __repr__(self) -> str:
+        return f"<BB {self.start:#x}..{self.end:#x} ({len(self.instructions)} insns)>"
+
+
+class FunctionCFG:
+    """CFG of one function's code bytes."""
+
+    def __init__(self, name: str, instructions: List[Instruction]):
+        self.name = name
+        self.instructions = instructions
+        self.blocks = self._split_blocks(instructions)
+
+    @staticmethod
+    def _split_blocks(instructions: List[Instruction]) -> List[BasicBlock]:
+        if not instructions:
+            return []
+        leaders = {instructions[0].address}
+        addresses = {insn.address for insn in instructions}
+        for insn in instructions:
+            if insn.is_control_flow and insn.mnemonic not in ("call",):
+                target = insn.branch_target()
+                if target is not None and target in addresses:
+                    leaders.add(target)
+                nxt = insn.address + insn.length
+                if nxt in addresses:
+                    leaders.add(nxt)
+        blocks = []
+        current: List[Instruction] = []
+        for insn in instructions:
+            if insn.address in leaders and current:
+                blocks.append(BasicBlock(current[0].address, current))
+                current = []
+            current.append(insn)
+        if current:
+            blocks.append(BasicBlock(current[0].address, current))
+        return blocks
+
+    def branch_instructions(self) -> List[Instruction]:
+        """All direct jmp/jcc/call instructions (jump-rule targets)."""
+        return [
+            insn
+            for insn in self.instructions
+            if (insn.is_conditional or insn.mnemonic in ("jmp", "call"))
+            and insn.branch_target() is not None
+        ]
+
+    def immediate_instructions(self) -> List[Instruction]:
+        """Instructions eligible for the immediate-modification rule
+        (§VII-A limits it to add/adc/sub/sbb/mov with an immediate)."""
+        from ..x86.operands import Imm
+
+        out = []
+        for insn in self.instructions:
+            if insn.mnemonic not in ("add", "adc", "sub", "sbb", "mov"):
+                continue
+            if insn.operands and isinstance(insn.operands[-1], Imm):
+                out.append(insn)
+        return out
+
+
+def cfg_for_function(image, symbol) -> Optional[FunctionCFG]:
+    """Decode and build the CFG of a function symbol; None on failure."""
+    try:
+        instructions = decode_all(
+            image.read(symbol.vaddr, symbol.size), address=symbol.vaddr
+        )
+    except Exception:
+        return None
+    return FunctionCFG(symbol.name, instructions)

@@ -1,0 +1,71 @@
+"""Attack evaluation harness.
+
+Applies an attack to a (protected or unprotected) image, runs the
+result, and scores the outcome against the pristine behaviour:
+
+* ``detected`` — the tampered program crashed or its observable
+  behaviour (stdout/exit status) diverged from what the attacker
+  wanted; the tamper response fired.
+* ``undetected`` — the attacker's goal state was reached with no
+  behavioural damage; the protection failed.
+
+For anti-debugging cracks the attacker's goal is "runs normally even
+under a debugger", so the goal reference is the pristine run *without*
+a debugger.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..binary.image import BinaryImage
+from ..binary.patch import Patch
+from ..emu import RunResult, run_image
+
+
+class AttackOutcome:
+    """Result of one attack evaluation."""
+
+    __slots__ = ("attack", "detected", "reason", "run")
+
+    def __init__(self, attack: str, detected: bool, reason: str, run: RunResult):
+        self.attack = attack
+        self.detected = detected
+        self.reason = reason
+        self.run = run
+
+    def __repr__(self) -> str:
+        verdict = "DETECTED" if self.detected else "undetected"
+        return f"<AttackOutcome {self.attack}: {verdict} ({self.reason})>"
+
+
+def evaluate_patch_attack(
+    image: BinaryImage,
+    patches: Iterable[Patch],
+    goal: RunResult,
+    attack_name: str = "patch",
+    debugger_attached: bool = False,
+    max_steps: int = 200_000_000,
+) -> AttackOutcome:
+    """Apply ``patches`` to a clone of ``image``, run, score vs ``goal``.
+
+    ``goal`` is the behaviour the attacker wants to reach (typically the
+    pristine no-debugger run).
+    """
+    tampered = image.clone()
+    for patch in patches:
+        patch.apply(tampered)
+    run = run_image(
+        tampered, debugger_attached=debugger_attached, max_steps=max_steps
+    )
+    return score_run(attack_name, run, goal)
+
+
+def score_run(attack_name: str, run: RunResult, goal: RunResult) -> AttackOutcome:
+    if run.crashed:
+        return AttackOutcome(attack_name, True, f"crash: {run.fault}", run)
+    if run.stdout != goal.stdout:
+        return AttackOutcome(attack_name, True, "stdout diverged", run)
+    if run.exit_status != goal.exit_status:
+        return AttackOutcome(attack_name, True, "exit status diverged", run)
+    return AttackOutcome(attack_name, False, "attacker goal reached", run)

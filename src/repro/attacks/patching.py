@@ -1,0 +1,87 @@
+"""Static code-patching attacks (software cracking, Listing 2).
+
+Each attack builds a :class:`~repro.binary.patch.Patch` against an
+image; the harness applies it and observes whether the protected
+program still behaves (attack succeeded) or malfunctions (tamper
+response triggered).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..binary.image import BinaryImage
+from ..binary.patch import Patch
+from ..x86.decoder import decode, decode_all
+from ..x86.instruction import CONDITIONAL_JUMPS
+
+
+class AttackError(Exception):
+    pass
+
+
+def nop_out(image: BinaryImage, vaddr: int, length: int) -> Patch:
+    """Overwrite ``length`` bytes with nops — Listing 2's attack on the
+    jump to cleanup_and_exit."""
+    old = image.read(vaddr, length)
+    return Patch(vaddr, old, b"\x90" * length, reason="nop_out")
+
+
+def nop_out_instruction(image: BinaryImage, vaddr: int) -> Patch:
+    """Nop the single instruction at ``vaddr``."""
+    window = image.read(vaddr, min(16, image.section_at(vaddr).end - vaddr))
+    insn = decode(window, 0, address=vaddr)
+    return nop_out(image, vaddr, insn.length)
+
+
+def invert_branch(image: BinaryImage, vaddr: int) -> Patch:
+    """Flip a conditional jump's condition (e.g. jns -> js) — the §IV-A
+    attack of rewriting the anti-debugging branch."""
+    window = image.read(vaddr, min(16, image.section_at(vaddr).end - vaddr))
+    insn = decode(window, 0, address=vaddr)
+    if insn.mnemonic not in CONDITIONAL_JUMPS:
+        raise AttackError(f"{insn!r} is not a conditional jump")
+    old = image.read(vaddr, insn.length)
+    new = bytearray(old)
+    if old[0] == 0x0F:  # two-byte jcc rel32: toggle the condition bit
+        new[1] ^= 0x01
+    else:  # jcc rel8
+        new[0] ^= 0x01
+    return Patch(vaddr, bytes(old), bytes(new), reason="invert_branch")
+
+
+def force_branch(image: BinaryImage, vaddr: int) -> Patch:
+    """Turn a conditional jump into an unconditional one (always taken)."""
+    window = image.read(vaddr, min(16, image.section_at(vaddr).end - vaddr))
+    insn = decode(window, 0, address=vaddr)
+    if insn.mnemonic not in CONDITIONAL_JUMPS:
+        raise AttackError(f"{insn!r} is not a conditional jump")
+    old = image.read(vaddr, insn.length)
+    new = bytearray(old)
+    if old[0] == 0x0F:
+        # 0f 8x rel32 (6 bytes) -> e9 rel32' nop, same target
+        rel = int.from_bytes(old[2:6], "little")
+        new = bytearray(b"\xe9" + ((rel + 1) & 0xFFFFFFFF).to_bytes(4, "little") + b"\x90")
+    else:
+        new[0] = 0xEB  # jcc rel8 -> jmp rel8
+    return Patch(vaddr, bytes(old), bytes(new), reason="force_branch")
+
+
+def stub_out_function(image: BinaryImage, name: str, return_value: int = 1) -> Patch:
+    """Replace a function's entry with ``mov eax, value; ret`` — the
+    classic crack of a license/anti-debug check."""
+    symbol = image.symbols[name]
+    payload = b"\xb8" + (return_value & 0xFFFFFFFF).to_bytes(4, "little") + b"\xc3"
+    if symbol.size < len(payload):
+        raise AttackError(f"{name} too small to stub out")
+    old = image.read(symbol.vaddr, len(payload))
+    return Patch(symbol.vaddr, old, payload, reason=f"stub_out({name})")
+
+
+def find_branches_in_function(image: BinaryImage, name: str) -> List:
+    """Conditional branches inside a function — the natural crack targets."""
+    symbol = image.symbols[name]
+    instructions = decode_all(
+        image.read(symbol.vaddr, symbol.size), address=symbol.vaddr
+    )
+    return [insn for insn in instructions if insn.mnemonic in CONDITIONAL_JUMPS]

@@ -1,0 +1,64 @@
+"""Verification-code replacement attacks (§VI-B).
+
+The adversary tampers with the chain-loading machinery itself: wiping
+the chain, replacing it with garbage, or fully reverse-engineering the
+verification function and re-creating it as native code (the paper's
+admitted endgame, countered by the §VI-C cross-checksumming network
+which is orthogonal to Parallax itself).
+"""
+
+from __future__ import annotations
+
+from ..binary.image import BinaryImage
+from ..binary.patch import Patch
+from ..core.protector import ProtectedProgram, ROPCHAINS_BASE
+
+
+def wipe_chain_patch(protected: ProtectedProgram) -> Patch:
+    """Zero the live chain area — the crudest replacement attempt."""
+    image = protected.image
+    section = image.section(".ropchains")
+    old = bytes(section.data)
+    return Patch(section.vaddr, old, bytes(len(old)), reason="wipe_chain")
+
+
+def garbage_chain_patch(protected: ProtectedProgram, seed: int = 0xBAD) -> Patch:
+    """Replace the chain with plausible-looking but wrong gadget words."""
+    import random
+
+    rng = random.Random(seed)
+    image = protected.image
+    section = image.section(".ropchains")
+    old = bytes(section.data)
+    text = image.text
+    words = [
+        (text.vaddr + rng.randrange(text.size)) & 0xFFFFFFFF
+        for _ in range(len(old) // 4)
+    ]
+    new = b"".join(w.to_bytes(4, "little") for w in words)
+    return Patch(section.vaddr, old, new, reason="garbage_chain")
+
+
+def reconstruct_function_patch(protected: ProtectedProgram, name: str) -> Patch:
+    """Re-create the verification function natively (full reverse
+    engineering): recompile its IR and overwrite the redirected entry.
+
+    This models the strongest §VI-B adversary.  It succeeds at running
+    the program — but it silently removes the implicit verification,
+    which is exactly why the paper layers cross-checksumming over the
+    (data-resident, Wurster-immune) chains.
+    """
+    from ..ropc import compile_functions
+
+    program = protected.program
+    image = protected.image
+    symbol = image.symbols[name]
+    code, spans, _ = compile_functions(
+        [program.functions[name]], base=symbol.vaddr, entry_main=None
+    )
+    start, end = spans[name]
+    body = code[start:end]
+    if len(body) > symbol.size:
+        raise ValueError("reconstructed function does not fit")
+    old = image.read(symbol.vaddr, len(body))
+    return Patch(symbol.vaddr, old, body, reason=f"reconstruct({name})")

@@ -1,0 +1,84 @@
+"""Dynamic code-restore attacks (§VI-A).
+
+A runtime adversary modifies code, lets it execute, and restores the
+original bytes before any verification runs.  "No self-sufficient
+tamperproofing algorithm can completely prevent code restore attacks" —
+Parallax only *narrows the window*: the verification chains run
+repeatedly and unpredictably (probabilistic variants), so a restore
+that is too slow is caught.
+
+The attack driver single-steps the emulator: when execution first
+reaches ``trigger``, the patch is applied; when it reaches ``restore_at``
+(or after ``restore_after_steps``), the patch is reverted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..binary.image import BinaryImage
+from ..binary.patch import Patch
+from ..emu import Emulator, EmulationError, OperatingSystem, RunResult
+from ..emu.syscalls import ExitProgram
+from .harness import AttackOutcome, score_run
+
+
+def run_with_restore_attack(
+    image: BinaryImage,
+    patch: Patch,
+    trigger: int,
+    restore_after_steps: int,
+    debugger_attached: bool = False,
+    max_steps: int = 200_000_000,
+) -> RunResult:
+    """Run ``image`` applying ``patch`` at ``trigger`` and reverting it
+    ``restore_after_steps`` emulated instructions later.
+
+    A small ``restore_after_steps`` models a fast attacker (modify, use,
+    restore immediately); a large one models a lazy attacker whose
+    window overlaps a verification-chain execution.
+    """
+    os = OperatingSystem(debugger_attached=debugger_attached)
+    emulator = Emulator(image, os=os, max_steps=max_steps)
+    applied_at: Optional[int] = None
+    applied = False
+    reverted = False
+
+    fault = None
+    try:
+        while True:
+            if not applied and emulator.cpu.eip == trigger:
+                emulator.memory.write(patch.vaddr, patch.new)
+                applied = True
+                applied_at = emulator.steps
+            if applied and not reverted and emulator.steps - applied_at >= restore_after_steps:
+                emulator.memory.write(patch.vaddr, patch.old)
+                reverted = True
+            emulator.step()
+    except ExitProgram:
+        pass
+    except EmulationError as exc:
+        fault = exc
+    return RunResult(
+        exit_status=emulator.os.exit_status,
+        steps=emulator.steps,
+        cycles=emulator.cycles,
+        stdout=bytes(emulator.os.stdout),
+        fault=fault,
+    )
+
+
+def evaluate_restore_attack(
+    image: BinaryImage,
+    patch: Patch,
+    trigger: int,
+    restore_after_steps: int,
+    goal: RunResult,
+    attack_name: str = "code_restore",
+    debugger_attached: bool = False,
+) -> AttackOutcome:
+    run = run_with_restore_attack(
+        image, patch, trigger, restore_after_steps,
+        debugger_attached=debugger_attached,
+    )
+    return score_run(attack_name, run, goal)

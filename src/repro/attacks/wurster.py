@@ -1,0 +1,56 @@
+"""The Wurster et al. instruction-cache modification attack.
+
+The attack (a kernel patch in the original work) lets an adversary
+modify the *instruction* view of memory while data reads keep returning
+pristine bytes.  Checksumming self-verification reads code as data, so
+it computes correct checksums over tampered code — completely defeated.
+
+Parallax is immune: its verification chains *execute* the protected
+bytes (the gadgets), and execution uses the instruction view, so the
+tampered bytes are exactly what the chain trips over.
+
+Implemented on top of :meth:`repro.emu.memory.Memory.patch_code_view`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..binary.image import BinaryImage
+from ..binary.patch import Patch
+from ..emu import Emulator, EmulationError, OperatingSystem, RunResult
+from ..emu.syscalls import ExitProgram
+from .harness import AttackOutcome, score_run
+
+
+def run_with_icache_patches(
+    image: BinaryImage,
+    patches: Iterable[Patch],
+    debugger_attached: bool = False,
+    max_steps: int = 200_000_000,
+) -> RunResult:
+    """Run ``image`` with ``patches`` applied to the instruction view only.
+
+    Data reads (and therefore any checksumming code) see the original
+    bytes; fetch sees the tampered ones.
+    """
+    os = OperatingSystem(debugger_attached=debugger_attached)
+    emulator = Emulator(image, os=os, max_steps=max_steps)
+    for patch in patches:
+        emulator.memory.patch_code_view(patch.vaddr, patch.new)
+    return emulator.run()
+
+
+def evaluate_wurster_attack(
+    image: BinaryImage,
+    patches: Iterable[Patch],
+    goal: RunResult,
+    attack_name: str = "wurster",
+    debugger_attached: bool = False,
+    max_steps: int = 200_000_000,
+) -> AttackOutcome:
+    """Score the I-cache attack against ``goal`` behaviour."""
+    run = run_with_icache_patches(
+        image, patches, debugger_attached=debugger_attached, max_steps=max_steps
+    )
+    return score_run(attack_name, run, goal)

@@ -1,0 +1,13 @@
+"""Baseline tamperproofing algorithms Parallax is compared against."""
+
+from .checksum import ChecksummedProgram, EXIT_TAMPERED, guard_function
+from .oblivious import EXPECTED_MARKER, OHProgram, instrument_function
+
+__all__ = [
+    "ChecksummedProgram",
+    "EXIT_TAMPERED",
+    "guard_function",
+    "EXPECTED_MARKER",
+    "OHProgram",
+    "instrument_function",
+]

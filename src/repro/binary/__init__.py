@@ -1,0 +1,17 @@
+"""Binary image substrate: sections, symbols, images, reversible patches."""
+
+from .image import BinaryImage
+from .patch import Patch, PatchSet
+from .section import Perm, Section
+from .symbol import Symbol, SymbolKind, SymbolTable
+
+__all__ = [
+    "BinaryImage",
+    "Patch",
+    "PatchSet",
+    "Perm",
+    "Section",
+    "Symbol",
+    "SymbolKind",
+    "SymbolTable",
+]

@@ -1,0 +1,79 @@
+"""Sections of a binary image."""
+
+from __future__ import annotations
+
+
+class Perm:
+    """Section permission bits."""
+
+    R = 1
+    W = 2
+    X = 4
+
+    RX = R | X
+    RW = R | W
+    RWX = R | W | X
+
+
+class Section:
+    """A contiguous, named region of the image address space.
+
+    Attributes:
+        name: e.g. ``".text"``, ``".data"``, ``".rodata"``, ``".ropchains"``.
+        vaddr: virtual address of the first byte.
+        data: mutable contents.
+        perm: permission bits (:class:`Perm`).
+    """
+
+    __slots__ = ("name", "vaddr", "data", "perm")
+
+    def __init__(self, name: str, vaddr: int, data: bytes = b"", perm: int = Perm.R):
+        self.name = name
+        self.vaddr = vaddr
+        self.data = bytearray(data)
+        self.perm = perm
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        """Address one past the last byte."""
+        return self.vaddr + len(self.data)
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.perm & Perm.X)
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.perm & Perm.W)
+
+    def contains(self, vaddr: int, length: int = 1) -> bool:
+        return self.vaddr <= vaddr and vaddr + length <= self.end
+
+    def read(self, vaddr: int, length: int) -> bytes:
+        if not self.contains(vaddr, length):
+            raise IndexError(f"read outside section {self.name}")
+        off = vaddr - self.vaddr
+        return bytes(self.data[off : off + length])
+
+    def write(self, vaddr: int, payload: bytes) -> None:
+        if not self.contains(vaddr, len(payload)):
+            raise IndexError(f"write outside section {self.name}")
+        off = vaddr - self.vaddr
+        self.data[off : off + len(payload)] = payload
+
+    def append(self, payload: bytes) -> int:
+        """Append bytes; returns the vaddr they were placed at."""
+        vaddr = self.end
+        self.data += payload
+        return vaddr
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            ch if self.perm & bit else "-"
+            for ch, bit in (("r", Perm.R), ("w", Perm.W), ("x", Perm.X))
+        )
+        return f"<Section {self.name} {self.vaddr:#x}..{self.end:#x} {flags}>"

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — corpus programs and their stats;
+* ``run PROGRAM``               — execute a corpus program;
+* ``protect PROGRAM``           — protect and re-run it, print report;
+* ``analyze PROGRAM``           — Fig. 6 protectability for one program;
+* ``fig6``                      — the full Fig. 6 table;
+* ``attack PROGRAM``            — static + Wurster tamper demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .binary import Patch
+from .core import Parallax, ProtectConfig, STRATEGIES
+from .corpus import PROGRAM_NAMES, build_program
+from .rewrite import RewriteEngine, format_fig6_table
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'program':<8} {'functions':>10} {'code bytes':>11}")
+    for name in PROGRAM_NAMES:
+        program = build_program(name)
+        print(f"{name:<8} {len(program.functions):>10} {program.code_size():>11}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = build_program(args.program)
+    result = program.run(debugger_attached=args.debugger)
+    print(f"stdout : {result.stdout.decode(errors='replace')}")
+    print(f"exit   : {result.exit_status}")
+    print(f"steps  : {result.steps:,}   cycles: {result.cycles:,}")
+    if result.crashed:
+        print(f"FAULT  : {result.fault}")
+        return 1
+    return 0
+
+
+def _cmd_protect(args) -> int:
+    program = build_program(args.program)
+    baseline = program.run()
+    config = ProtectConfig(strategy=args.strategy, guard_chains=args.guard_chains)
+    protected = Parallax(config).protect(program)
+    print(protected.report.summary())
+    result = protected.run()
+    if result.crashed or result.stdout != baseline.stdout:
+        print("ERROR: protected program diverged from baseline")
+        return 1
+    overhead = 100 * (result.cycles / baseline.cycles - 1)
+    print(f"\nbehaviour preserved; whole-program overhead {overhead:.2f}%")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    program = build_program(args.program)
+    report = RewriteEngine().analyze(program.image).report
+    print(format_fig6_table([report]))
+    return 0
+
+
+def _cmd_fig6(_args) -> int:
+    engine = RewriteEngine()
+    reports = [
+        engine.analyze(build_program(name).image).report for name in PROGRAM_NAMES
+    ]
+    print(format_fig6_table(reports))
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from .attacks import evaluate_patch_attack, evaluate_wurster_attack
+
+    program = build_program(args.program)
+    goal = program.run()
+    config = ProtectConfig(strategy=args.strategy)
+    protected = Parallax(config).protect(program)
+    image = protected.image
+    target = next(
+        addr
+        for addr in protected.report.chains[0].gadget_addresses
+        if image.section_at(addr).name == ".text"
+    )
+    old = image.read(target, 1)
+    patch = Patch(target, old, bytes([old[0] ^ 0xFF]))
+    print(f"tampering one byte of a chain gadget at {target:#x}")
+    static = evaluate_patch_attack(image, [patch], goal, "static")
+    wurster = evaluate_wurster_attack(image, [patch], goal, "wurster")
+    print(f"static  patch: {'DETECTED' if static.detected else 'undetected'} "
+          f"({static.reason})")
+    print(f"wurster patch: {'DETECTED' if wurster.detected else 'undetected'} "
+          f"({wurster.reason})")
+    return 0 if static.detected and wurster.detected else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallax (DSN 2015) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the corpus programs").set_defaults(
+        func=_cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="run a corpus program")
+    p_run.add_argument("program", choices=PROGRAM_NAMES)
+    p_run.add_argument("--debugger", action="store_true",
+                       help="attach the (simulated) debugger")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_protect = sub.add_parser("protect", help="protect a program and re-run it")
+    p_protect.add_argument("program", choices=PROGRAM_NAMES)
+    p_protect.add_argument("--strategy", choices=STRATEGIES, default="cleartext")
+    p_protect.add_argument("--guard-chains", action="store_true",
+                           help="enable the §VI-C chain-guard network")
+    p_protect.set_defaults(func=_cmd_protect)
+
+    p_analyze = sub.add_parser("analyze", help="Fig. 6 protectability for one program")
+    p_analyze.add_argument("program", choices=PROGRAM_NAMES)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    sub.add_parser("fig6", help="the full Fig. 6 table").set_defaults(func=_cmd_fig6)
+
+    p_attack = sub.add_parser("attack", help="tamper demo on a protected program")
+    p_attack.add_argument("program", choices=PROGRAM_NAMES)
+    p_attack.add_argument("--strategy", choices=STRATEGIES, default="cleartext")
+    p_attack.set_defaults(func=_cmd_attack)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Protection configuration."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: Chain-hardening strategies evaluated in Fig. 5 (§V-B, §VII-B).
+STRATEGY_CLEARTEXT = "cleartext"
+STRATEGY_XOR = "xor"
+STRATEGY_RC4 = "rc4"
+STRATEGY_LINEAR = "linear"
+
+STRATEGIES = (STRATEGY_CLEARTEXT, STRATEGY_XOR, STRATEGY_RC4, STRATEGY_LINEAR)
+
+
+class ProtectConfig:
+    """Options for one protection run.
+
+    Attributes:
+        strategy: one of :data:`STRATEGIES`.
+        verification_functions: function names to translate into chains;
+            ``None`` selects one automatically per §VII-B.
+        protect_addresses: instruction addresses whose overlapping
+            gadgets should be preferred by the chain compiler; ``None``
+            defaults to every control-flow and syscall instruction (the
+            likely attack targets, §VIII).
+        n_variants: compiled variants for the linear strategy (power of
+            two; §V-B's N).
+        seed: determinism seed for probabilistic resolution and keys.
+        time_threshold: profile share above which a function is too hot
+            to become verification code (paper: 2%).
+        guard_chains: §VI-C — insert a checksumming guard over the
+            chain machinery (encrypted blobs, variant tables, runtime
+            support), invoked from every loader stub.  Safe against the
+            Wurster attack because the guarded bytes live in data
+            memory; the paper proposes this and leaves it to future
+            work.
+    """
+
+    def __init__(
+        self,
+        strategy: str = STRATEGY_CLEARTEXT,
+        verification_functions: Optional[List[str]] = None,
+        protect_addresses: Optional[List[int]] = None,
+        n_variants: int = 4,
+        seed: int = 0x9A11A7,
+        time_threshold: float = 0.02,
+        guard_chains: bool = False,
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if n_variants < 1 or n_variants & (n_variants - 1):
+            raise ValueError("n_variants must be a power of two")
+        self.strategy = strategy
+        self.verification_functions = verification_functions
+        self.protect_addresses = protect_addresses
+        self.n_variants = n_variants
+        self.seed = seed
+        self.time_threshold = time_threshold
+        self.guard_chains = guard_chains

@@ -1,0 +1,81 @@
+"""Protection reports: what Parallax did to a binary."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class ChainRecord:
+    """Bookkeeping for one verification chain."""
+
+    __slots__ = (
+        "function",
+        "chain_addr",
+        "word_count",
+        "gadget_addresses",
+        "overlapping_used",
+        "stub_addr",
+        "variants",
+    )
+
+    def __init__(
+        self,
+        function: str,
+        chain_addr: int,
+        word_count: int,
+        gadget_addresses: List[int],
+        overlapping_used: int,
+        stub_addr: int,
+        variants: int = 1,
+    ):
+        self.function = function
+        self.chain_addr = chain_addr
+        self.word_count = word_count
+        self.gadget_addresses = gadget_addresses
+        self.overlapping_used = overlapping_used
+        self.stub_addr = stub_addr
+        self.variants = variants
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChainRecord {self.function} @{self.chain_addr:#x} "
+            f"{self.word_count} words, {len(set(self.gadget_addresses))} gadgets "
+            f"({self.overlapping_used} overlapping)>"
+        )
+
+
+class ProtectionReport:
+    """Summary of a protection run."""
+
+    def __init__(self, program: str, strategy: str):
+        self.program = program
+        self.strategy = strategy
+        self.chains: List[ChainRecord] = []
+        self.existing_gadgets = 0
+        self.inserted_gadgets = 0
+        self.preferred_gadgets = 0
+        self.protected_instruction_count = 0
+        self.notes: List[str] = []
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def summary(self) -> str:
+        lines = [
+            f"Parallax protection report: {self.program} [{self.strategy}]",
+            f"  existing gadgets in binary : {self.existing_gadgets}",
+            f"  standard gadgets inserted  : {self.inserted_gadgets}",
+            f"  overlap-preferred gadgets  : {self.preferred_gadgets}",
+        ]
+        for record in self.chains:
+            unique = len(set(record.gadget_addresses))
+            lines.append(
+                f"  chain {record.function}: {record.word_count} words, "
+                f"{unique} distinct gadgets, {record.overlapping_used} overlapping, "
+                f"{record.variants} variant(s), stub @{record.stub_addr:#x}"
+            )
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<ProtectionReport {self.program} {self.strategy} chains={len(self.chains)}>"

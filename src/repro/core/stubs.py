@@ -1,0 +1,106 @@
+"""Loader stubs that bootstrap verification chains (§V-A).
+
+The stub replaces the entry of a function selected as verification
+code.  It (1) saves the register state with ``pushad``, (2) records the
+stack pointer so the chain can reach the caller's arguments and deliver
+a return value, (3) pushes the address of its own resume sequence and
+records where that address lives, (4) pivots esp into the chain and
+``ret``s to start it.  The chain's epilogue pivots back, landing on the
+resume sequence: ``popad; ret`` — execution continues in the caller as
+if the original function had run.
+
+Stack layout after step (3), matching the offsets in
+:mod:`repro.ropc.compiler`::
+
+    [frame-4] resume address        <- [resume_cell] points here
+    [frame+0] saved edi             <- [frame_cell] points here
+      ...
+    [frame+28] saved eax            <- chain writes return value here
+    [frame+32] return address to caller
+    [frame+36] arg 0, [frame+40] arg 1, ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..x86.asm import Assembler
+from ..x86.operands import Imm, Mem, mem32
+from ..x86.registers import ESP
+
+
+class StubLayout:
+    """Addresses of the assembled stub's interesting points."""
+
+    __slots__ = ("base", "resume", "size", "code")
+
+    def __init__(self, base: int, resume: int, size: int, code: bytes):
+        self.base = base
+        self.resume = resume
+        self.size = size
+        self.code = code
+
+
+def build_loader_stub(
+    base: int,
+    frame_cell: int,
+    resume_cell: int,
+    chain_addr: int,
+    decrypt_call: Optional[int] = None,
+    decrypt_args: tuple = (),
+    pre_calls: tuple = (),
+) -> StubLayout:
+    """Assemble a loader stub at ``base``.
+
+    Args:
+        base: address the stub will be placed at.
+        frame_cell: RW cell receiving the post-pushad esp.
+        resume_cell: RW cell receiving the address of the resume slot.
+        chain_addr: address of the (resolved, serialized) chain.
+        decrypt_call: address of a runtime-support routine to call
+            before pivoting (chain decryption / regeneration), or None.
+        decrypt_args: immediate arguments pushed (cdecl) to that routine.
+        pre_calls: extra (address, args) routines invoked before the
+            decryptor — used by the §VI-C chain-guard network.
+    """
+    calls = list(pre_calls)
+    if decrypt_call is not None:
+        calls.append((decrypt_call, tuple(decrypt_args)))
+
+    def emit(resume_addr: int) -> Assembler:
+        asm = Assembler(base=base)
+        asm.pushad()
+        for target, args in calls:
+            for arg in reversed(args):
+                asm.push(Imm(arg, 32))
+            # call via absolute address in a register would disturb the
+            # saved state; a plain relative call is fine because pushad
+            # already saved everything the chain needs.
+            rel = target - (asm.here + 5)
+            asm.raw(b"\xe8" + (rel & 0xFFFFFFFF).to_bytes(4, "little"))
+            if args:
+                asm.add(ESP, Imm(4 * len(args), 8))
+        asm.mov(_abs32(frame_cell), ESP)
+        asm.push(Imm(resume_addr, 32))
+        asm.mov(_abs32(resume_cell), ESP)
+        asm.mov(ESP, Imm(chain_addr, 32))
+        asm.ret()
+        asm.label("resume")
+        asm.popad()
+        asm.ret()
+        return asm
+
+    # Two passes: the resume address depends only on code length, which
+    # is independent of the placeholder value (always imm32).
+    draft = emit(0)
+    draft.assemble()
+    resume_addr = draft.address_of("resume")
+    final = emit(resume_addr)
+    code = final.assemble()
+    assert final.address_of("resume") == resume_addr
+    return StubLayout(base=base, resume=resume_addr, size=len(code), code=code)
+
+
+def _abs32(addr: int) -> Mem:
+    """A dword memory operand at an absolute address."""
+    return mem32(disp=addr)

@@ -1,0 +1,45 @@
+"""Synthetic corpus: the six test programs of the paper's evaluation."""
+
+from . import builders
+from .generator import FunctionGenerator, MixProfile
+from .program import (
+    DATA_BASE,
+    DataBuilder,
+    GADGETS_BASE,
+    Program,
+    RODATA_BASE,
+    ROPCHAINS_BASE,
+    ROPDATA_BASE,
+    STUBS_BASE,
+    TEXT_BASE,
+    call_const,
+    input_bytes,
+)
+from .programs import (
+    BUILDERS,
+    PROGRAM_NAMES,
+    build_all,
+    build_bzip2,
+    build_gcc,
+    build_gzip,
+    build_lame,
+    build_nginx,
+    build_program,
+    build_wget,
+)
+
+__all__ = [
+    "builders",
+    "FunctionGenerator",
+    "MixProfile",
+    "DataBuilder",
+    "Program",
+    "call_const",
+    "input_bytes",
+    "TEXT_BASE", "RODATA_BASE", "DATA_BASE", "GADGETS_BASE",
+    "STUBS_BASE", "ROPDATA_BASE", "ROPCHAINS_BASE",
+    "BUILDERS", "PROGRAM_NAMES",
+    "build_all", "build_program",
+    "build_wget", "build_nginx", "build_bzip2",
+    "build_gzip", "build_gcc", "build_lame",
+]

@@ -1,0 +1,801 @@
+"""Library of IR functions used to assemble corpus programs.
+
+These are the "application code" of our six synthetic test programs —
+checksums, string scanning, compression loops, table lookups, parsing,
+fixed-point DSP.  Functions marked *leaf + word-oriented* are eligible
+verification-code candidates (chain-translatable).
+
+Register discipline (matches the native ABI): eax/ecx/edx are
+caller-clobbered, ebx/esi/edi are callee-saved, so values that must
+survive a Call live in ebx/esi/edi.
+"""
+
+from __future__ import annotations
+
+from ..ropc import ir
+from ..x86.registers import EAX, EBX, ECX, EDX, EDI, ESI
+
+
+def mix32() -> ir.IRFunction:
+    """xorshift32 scrambling step — tiny, diverse, leaf."""
+    f = ir.IRFunction("mix32", params=1)
+    f.emit(ir.Param(EAX, 0))
+    f.emit(ir.Mov(ECX, EAX))
+    f.emit(ir.Shift("shl", ECX, 13))
+    f.emit(ir.BinOp("xor", EAX, ECX))
+    f.emit(ir.Mov(ECX, EAX))
+    f.emit(ir.Shift("shr", ECX, 17))
+    f.emit(ir.BinOp("xor", EAX, ECX))
+    f.emit(ir.Mov(ECX, EAX))
+    f.emit(ir.Shift("shl", ECX, 5))
+    f.emit(ir.BinOp("xor", EAX, ECX))
+    f.emit(ir.Ret())
+    return f
+
+
+def checksum_words() -> ir.IRFunction:
+    """checksum_words(buf, nwords): rotating xor/add over words.
+
+    The flagship verification candidate: leaf, word-only loads, loop,
+    shifts, adds — maximal gadget-type coverage (§VII-B step 3).
+    """
+    f = ir.IRFunction("checksum_words", params=2)
+    f.emit(ir.Param(ESI, 0))          # buf
+    f.emit(ir.Param(ECX, 1))          # nwords
+    f.emit(ir.Const(EAX, 0x811C9DC5))  # acc
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Load(EDX, ESI, 0))
+    f.emit(ir.BinOp("xor", EAX, EDX))
+    f.emit(ir.Mov(EDX, EAX))
+    f.emit(ir.Shift("shl", EDX, 7))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.Const(EDX, 4))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def adler_words() -> ir.IRFunction:
+    """adler_words(buf, nwords): Adler-style dual-accumulator checksum."""
+    f = ir.IRFunction("adler_words", params=2)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Const(EAX, 1))          # a
+    f.emit(ir.Const(EBX, 0))          # b
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Load(EDX, ESI, 0))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.BinOp("add", EBX, EAX))
+    f.emit(ir.Const(EDX, 4))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Shift("shl", EBX, 16))
+    f.emit(ir.BinOp("or", EAX, EBX))
+    f.emit(ir.Ret())
+    return f
+
+
+def crc_step() -> ir.IRFunction:
+    """crc_step(crc, word): 8 rounds of shift-and-conditional-xor."""
+    f = ir.IRFunction("crc_step", params=2)
+    f.emit(ir.Param(EAX, 0))          # crc
+    f.emit(ir.Param(EBX, 1))          # word
+    f.emit(ir.BinOp("xor", EAX, EBX))
+    f.emit(ir.Const(ECX, 8))
+    f.emit(ir.Label("round"))
+    f.emit(ir.Mov(EDX, EAX))
+    f.emit(ir.Const(EBX, 1))
+    f.emit(ir.BinOp("and", EDX, EBX))
+    f.emit(ir.Shift("shr", EAX, 1))
+    f.emit(ir.Branch("eq", EDX, 0, "skip"))
+    f.emit(ir.Const(EDX, 0xEDB88320))
+    f.emit(ir.BinOp("xor", EAX, EDX))
+    f.emit(ir.Label("skip"))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Branch("ne", ECX, 0, "round"))
+    f.emit(ir.Ret())
+    return f
+
+
+def memcpy_words() -> ir.IRFunction:
+    """memcpy_words(dst, src, nwords)."""
+    f = ir.IRFunction("memcpy_words", params=3)
+    f.emit(ir.Param(EDI, 0))
+    f.emit(ir.Param(ESI, 1))
+    f.emit(ir.Param(ECX, 2))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Load(EAX, ESI, 0))
+    f.emit(ir.Store(EDI, EAX, 0))
+    f.emit(ir.Const(EDX, 4))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.BinOp("add", EDI, EDX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Ret())
+    return f
+
+
+def memset_words() -> ir.IRFunction:
+    """memset_words(dst, value, nwords)."""
+    f = ir.IRFunction("memset_words", params=3)
+    f.emit(ir.Param(EDI, 0))
+    f.emit(ir.Param(EAX, 1))
+    f.emit(ir.Param(ECX, 2))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Store(EDI, EAX, 0))
+    f.emit(ir.Const(EDX, 4))
+    f.emit(ir.BinOp("add", EDI, EDX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Ret())
+    return f
+
+
+def strlen8() -> ir.IRFunction:
+    """strlen8(ptr): length of a NUL-terminated byte string."""
+    f = ir.IRFunction("strlen8", params=1)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Load8(ECX, ESI, 0))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def find_byte() -> ir.IRFunction:
+    """find_byte(ptr, n, needle): index of first match, else -1."""
+    f = ir.IRFunction("find_byte", params=3)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Param(EBX, 2))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("uge", EAX, ECX, "missing"))
+    f.emit(ir.Load8(EDX, ESI, 0))
+    f.emit(ir.Branch("eq", EDX, EBX, "done"))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("missing"))
+    f.emit(ir.Const(EAX, 0xFFFFFFFF))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def hash_string() -> ir.IRFunction:
+    """hash_string(ptr, n): djb2-flavoured byte hash."""
+    f = ir.IRFunction("hash_string", params=2)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Const(EAX, 5381))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Mov(EDX, EAX))
+    f.emit(ir.Shift("shl", EDX, 5))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.Load8(EDX, ESI, 0))
+    f.emit(ir.BinOp("xor", EAX, EDX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def table_lookup() -> ir.IRFunction:
+    """table_lookup(table, index, size): bounds-checked word fetch."""
+    f = ir.IRFunction("table_lookup", params=3)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Param(EDX, 2))
+    f.emit(ir.Branch("uge", ECX, EDX, "oob"))
+    f.emit(ir.Mov(EAX, ECX))
+    f.emit(ir.Shift("shl", EAX, 2))
+    f.emit(ir.BinOp("add", ESI, EAX))
+    f.emit(ir.Load(EAX, ESI, 0))
+    f.emit(ir.Ret())
+    f.emit(ir.Label("oob"))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Ret())
+    return f
+
+
+def dot_product() -> ir.IRFunction:
+    """dot_product(a, b, n): multiply-accumulate over word arrays."""
+    f = ir.IRFunction("dot_product", params=3)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(EDI, 1))
+    f.emit(ir.Param(ECX, 2))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Load(EDX, ESI, 0))
+    f.emit(ir.Load(EBX, EDI, 0))
+    f.emit(ir.BinOp("mul", EDX, EBX))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.Const(EDX, 4))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.BinOp("add", EDI, EDX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def quantize() -> ir.IRFunction:
+    """quantize(x, scale, shift_bias): fixed-point scale + clip to 16 bit."""
+    f = ir.IRFunction("quantize", params=3)
+    f.emit(ir.Param(EAX, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Param(EDX, 2))
+    f.emit(ir.BinOp("mul", EAX, ECX))
+    f.emit(ir.Shift("sar", EAX, 10))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.Const(ECX, 32767))
+    f.emit(ir.Branch("le", EAX, ECX, "no_hi"))
+    f.emit(ir.Mov(EAX, ECX))
+    f.emit(ir.Label("no_hi"))
+    f.emit(ir.Const(ECX, 0xFFFF8000))  # -32768
+    f.emit(ir.Branch("ge", EAX, ECX, "no_lo"))
+    f.emit(ir.Mov(EAX, ECX))
+    f.emit(ir.Label("no_lo"))
+    f.emit(ir.Ret())
+    return f
+
+
+def clip() -> ir.IRFunction:
+    """clip(x, lo, hi): clamp signed."""
+    f = ir.IRFunction("clip", params=3)
+    f.emit(ir.Param(EAX, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Param(EDX, 2))
+    f.emit(ir.Branch("ge", EAX, ECX, "not_low"))
+    f.emit(ir.Mov(EAX, ECX))
+    f.emit(ir.Label("not_low"))
+    f.emit(ir.Branch("le", EAX, EDX, "done"))
+    f.emit(ir.Mov(EAX, EDX))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def abs32() -> ir.IRFunction:
+    """abs32(x) via the branch-free sar/xor/sub idiom."""
+    f = ir.IRFunction("abs32", params=1)
+    f.emit(ir.Param(EAX, 0))
+    f.emit(ir.Mov(ECX, EAX))
+    f.emit(ir.Shift("sar", ECX, 31))
+    f.emit(ir.BinOp("xor", EAX, ECX))
+    f.emit(ir.BinOp("sub", EAX, ECX))
+    f.emit(ir.Ret())
+    return f
+
+
+def popcount() -> ir.IRFunction:
+    """popcount(x): bit-count loop."""
+    f = ir.IRFunction("popcount", params=1)
+    f.emit(ir.Param(ECX, 0))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Mov(EDX, ECX))
+    f.emit(ir.Const(EBX, 1))
+    f.emit(ir.BinOp("and", EDX, EBX))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.Shift("shr", ECX, 1))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def bit_reverse() -> ir.IRFunction:
+    """bit_reverse(x): 32-bit bit reversal loop."""
+    f = ir.IRFunction("bit_reverse", params=1)
+    f.emit(ir.Param(ECX, 0))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Const(EBX, 32))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Shift("shl", EAX, 1))
+    f.emit(ir.Mov(EDX, ECX))
+    f.emit(ir.Const(ESI, 1))
+    f.emit(ir.BinOp("and", EDX, ESI))
+    f.emit(ir.BinOp("or", EAX, EDX))
+    f.emit(ir.Shift("shr", ECX, 1))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", EBX, EDX))
+    f.emit(ir.Branch("ne", EBX, 0, "loop"))
+    f.emit(ir.Ret())
+    return f
+
+
+def parse_uint() -> ir.IRFunction:
+    """parse_uint(ptr, n): decimal digits to integer."""
+    f = ir.IRFunction("parse_uint", params=2)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Load8(EDX, ESI, 0))
+    f.emit(ir.Const(EBX, 48))          # '0'
+    f.emit(ir.BinOp("sub", EDX, EBX))
+    f.emit(ir.Branch("uge", EDX, 10, "done"))
+    f.emit(ir.Const(EBX, 10))
+    f.emit(ir.BinOp("mul", EAX, EBX))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def to_hex() -> ir.IRFunction:
+    """to_hex(value, dst): write 8 ascii hex digits."""
+    f = ir.IRFunction("to_hex", params=2)
+    f.emit(ir.Param(EBX, 0))
+    f.emit(ir.Param(EDI, 1))
+    f.emit(ir.Const(ESI, 8))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Mov(EAX, EBX))
+    f.emit(ir.Shift("shr", EAX, 28))
+    f.emit(ir.Const(ECX, 10))
+    f.emit(ir.Branch("uge", EAX, ECX, "alpha"))
+    f.emit(ir.Const(ECX, 48))           # '0'
+    f.emit(ir.BinOp("add", EAX, ECX))
+    f.emit(ir.Jump("emit"))
+    f.emit(ir.Label("alpha"))
+    f.emit(ir.Const(ECX, 87))           # 'a' - 10
+    f.emit(ir.BinOp("add", EAX, ECX))
+    f.emit(ir.Label("emit"))
+    f.emit(ir.Store8(EDI, EAX, 0))
+    f.emit(ir.Const(ECX, 1))
+    f.emit(ir.BinOp("add", EDI, ECX))
+    f.emit(ir.Shift("shl", EBX, 4))
+    f.emit(ir.BinOp("sub", ESI, ECX))
+    f.emit(ir.Branch("ne", ESI, 0, "loop"))
+    f.emit(ir.Const(EAX, 8))
+    f.emit(ir.Ret())
+    return f
+
+
+def rle_encode() -> ir.IRFunction:
+    """rle_encode(src, n, dst): byte run-length encoding.
+
+    Emits (count, byte) pairs; returns the address one past the last
+    output byte (callers derive the length from it).
+    """
+    f = ir.IRFunction("rle_encode", params=3)
+    f.emit(ir.Param(ESI, 0))            # src
+    f.emit(ir.Param(ECX, 1))            # remaining
+    f.emit(ir.Param(EDI, 2))            # dst
+    f.emit(ir.Label("outer"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Load8(EBX, ESI, 0))       # run byte
+    f.emit(ir.Const(EDX, 0))            # run length
+    f.emit(ir.Label("run"))
+    f.emit(ir.Branch("eq", ECX, 0, "flush"))
+    f.emit(ir.Branch("uge", EDX, 255, "flush"))
+    f.emit(ir.Load8(EAX, ESI, 0))
+    f.emit(ir.Branch("ne", EAX, EBX, "flush"))
+    f.emit(ir.Const(EAX, 1))
+    f.emit(ir.BinOp("add", EDX, EAX))
+    f.emit(ir.BinOp("add", ESI, EAX))
+    f.emit(ir.BinOp("sub", ECX, EAX))
+    f.emit(ir.Jump("run"))
+    f.emit(ir.Label("flush"))
+    f.emit(ir.Store8(EDI, EDX, 0))
+    f.emit(ir.Store8(EDI, EBX, 1))
+    f.emit(ir.Const(EAX, 2))
+    f.emit(ir.BinOp("add", EDI, EAX))
+    f.emit(ir.Jump("outer"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Mov(EAX, EDI))
+    f.emit(ir.Ret())
+    return f
+
+
+def sort_words() -> ir.IRFunction:
+    """sort_words(buf, n): insertion sort of 32-bit words (signed)."""
+    f = ir.IRFunction("sort_words", params=2)
+    f.emit(ir.Param(EDI, 0))            # buf
+    f.emit(ir.Param(EBX, 1))            # n
+    f.emit(ir.Const(ESI, 1))            # i
+    f.emit(ir.Label("outer"))
+    f.emit(ir.Branch("uge", ESI, EBX, "done"))
+    f.emit(ir.Mov(ECX, ESI))            # j = i
+    f.emit(ir.Label("inner"))
+    f.emit(ir.Branch("eq", ECX, 0, "next"))
+    # edx = &buf[j]
+    f.emit(ir.Mov(EDX, ECX))
+    f.emit(ir.Shift("shl", EDX, 2))
+    f.emit(ir.BinOp("add", EDX, EDI))
+    f.emit(ir.Load(EAX, EDX, 0))        # buf[j]
+    # compare buf[j-1] > buf[j]?
+    f.emit(ir.Load(ECX, EDX, -4))       # clobbers j! reload below
+    f.emit(ir.Branch("le", ECX, EAX, "restore_next"))
+    # swap
+    f.emit(ir.Store(EDX, ECX, 0))
+    f.emit(ir.Load(ECX, EDX, -4))
+    f.emit(ir.Store(EDX, EAX, -4))
+    # j = (edx - edi)/4 - 1
+    f.emit(ir.Mov(ECX, EDX))
+    f.emit(ir.BinOp("sub", ECX, EDI))
+    f.emit(ir.Shift("shr", ECX, 2))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("inner"))
+    f.emit(ir.Label("restore_next"))
+    f.emit(ir.Label("next"))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.Jump("outer"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Ret())
+    return f
+
+
+def ptrace_detect() -> ir.IRFunction:
+    """The paper's running example (§IV-A): detect a debugger via ptrace.
+
+    Returns 1 when no debugger is attached, 0 when one is.  The syscall
+    return value is *non-deterministic* from the program's view — this
+    is exactly the code oblivious hashing cannot protect and Parallax
+    can (the function is leaf and chain-translatable, syscall included).
+    """
+    f = ir.IRFunction("ptrace_detect", params=0)
+    f.emit(ir.Const(EAX, 26))           # SYS_PTRACE
+    f.emit(ir.Const(EBX, 0))            # PTRACE_TRACEME
+    f.emit(ir.Const(ECX, 0))
+    f.emit(ir.Const(EDX, 0))
+    f.emit(ir.Syscall())
+    f.emit(ir.Branch("lt", EAX, 0, "traced"))
+    f.emit(ir.Const(EAX, 1))
+    f.emit(ir.Ret())
+    f.emit(ir.Label("traced"))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Ret())
+    return f
+
+
+def write_buf() -> ir.IRFunction:
+    """write_buf(ptr, n): write bytes to stdout via the toy OS."""
+    f = ir.IRFunction("write_buf", params=2)
+    f.emit(ir.Param(ECX, 0))
+    f.emit(ir.Param(EDX, 1))
+    f.emit(ir.Const(EAX, 4))            # SYS_WRITE
+    f.emit(ir.Const(EBX, 1))            # stdout
+    f.emit(ir.Syscall())
+    f.emit(ir.Ret())
+    return f
+
+
+def lz_match_len() -> ir.IRFunction:
+    """lz_match_len(a, b, maxlen): length of common byte prefix."""
+    f = ir.IRFunction("lz_match_len", params=3)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(EDI, 1))
+    f.emit(ir.Param(ECX, 2))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("uge", EAX, ECX, "done"))
+    f.emit(ir.Load8(EDX, ESI, 0))
+    f.emit(ir.Load8(EBX, EDI, 0))
+    f.emit(ir.Branch("ne", EDX, EBX, "done"))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.BinOp("add", EDI, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def range_sum() -> ir.IRFunction:
+    """range_sum(lo, hi): sum of integers in [lo, hi] — pure word math."""
+    f = ir.IRFunction("range_sum", params=2)
+    f.emit(ir.Param(ECX, 0))
+    f.emit(ir.Param(EBX, 1))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("gt", ECX, EBX, "done"))
+    f.emit(ir.BinOp("add", EAX, ECX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("add", ECX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Ret())
+    return f
+
+
+def rotate_xor() -> ir.IRFunction:
+    """rotate_xor(x, k): rotate-left by k then xor golden ratio.
+
+    Small leaf; nice secondary verification candidate (shift-heavy).
+    """
+    f = ir.IRFunction("rotate_xor", params=2)
+    f.emit(ir.Param(EAX, 0))
+    f.emit(ir.Param(ECX, 1))
+    # rol via (x << 13) | (x >> 19): k fixed at 13 (const-amount shifts)
+    f.emit(ir.Mov(EDX, EAX))
+    f.emit(ir.Shift("shl", EAX, 13))
+    f.emit(ir.Shift("shr", EDX, 19))
+    f.emit(ir.BinOp("or", EAX, EDX))
+    f.emit(ir.BinOp("add", EAX, ECX))
+    f.emit(ir.Const(EDX, 0x9E3779B9))
+    f.emit(ir.BinOp("xor", EAX, EDX))
+    f.emit(ir.Ret())
+    return f
+
+
+def token_kind() -> ir.IRFunction:
+    """token_kind(ch): classify an ascii byte (gcc-ish lexer helper).
+
+    0=space 1=digit 2=alpha 3=punct 4=other — a dense jcc ladder, i.e.
+    plenty of jump-rule material.
+    """
+    f = ir.IRFunction("token_kind", params=1)
+    f.emit(ir.Param(ECX, 0))
+    f.emit(ir.Branch("eq", ECX, 32, "space"))
+    f.emit(ir.Branch("eq", ECX, 9, "space"))
+    f.emit(ir.Branch("eq", ECX, 10, "space"))
+    f.emit(ir.Branch("lt", ECX, 48, "punct_or_other"))
+    f.emit(ir.Branch("le", ECX, 57, "digit"))
+    f.emit(ir.Branch("lt", ECX, 65, "punct"))
+    f.emit(ir.Branch("le", ECX, 90, "alpha"))
+    f.emit(ir.Branch("lt", ECX, 97, "punct"))
+    f.emit(ir.Branch("le", ECX, 122, "alpha"))
+    f.emit(ir.Jump("other"))
+    f.emit(ir.Label("punct_or_other"))
+    f.emit(ir.Branch("lt", ECX, 33, "other"))
+    f.emit(ir.Label("punct"))
+    f.emit(ir.Const(EAX, 3))
+    f.emit(ir.Ret())
+    f.emit(ir.Label("space"))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Ret())
+    f.emit(ir.Label("digit"))
+    f.emit(ir.Const(EAX, 1))
+    f.emit(ir.Ret())
+    f.emit(ir.Label("alpha"))
+    f.emit(ir.Const(EAX, 2))
+    f.emit(ir.Ret())
+    f.emit(ir.Label("other"))
+    f.emit(ir.Const(EAX, 4))
+    f.emit(ir.Ret())
+    return f
+
+
+def sym_insert() -> ir.IRFunction:
+    """sym_insert(table, key, value): linear-probe insert into a hash
+    table of (key, value) word pairs; 64 slots; returns slot index."""
+    f = ir.IRFunction("sym_insert", params=3)
+    f.emit(ir.Param(ESI, 0))            # table
+    f.emit(ir.Param(EBX, 1))            # key
+    f.emit(ir.Param(EDI, 2))            # value
+    f.emit(ir.Mov(EAX, EBX))
+    f.emit(ir.Const(ECX, 63))
+    f.emit(ir.BinOp("and", EAX, ECX))   # slot = key & 63
+    f.emit(ir.Const(EDX, 64))
+    f.emit(ir.Store(ESI, EDX, 512))     # probe budget (slot past table)
+    f.emit(ir.Label("probe"))
+    # edx = &table[slot*8]
+    f.emit(ir.Mov(EDX, EAX))
+    f.emit(ir.Shift("shl", EDX, 3))
+    f.emit(ir.BinOp("add", EDX, ESI))
+    f.emit(ir.Load(ECX, EDX, 0))        # existing key
+    f.emit(ir.Branch("eq", ECX, 0, "store"))
+    f.emit(ir.Branch("eq", ECX, EBX, "store"))
+    # budget -= 1; on exhaustion evict the current slot (table is full)
+    f.emit(ir.Load(ECX, ESI, 512))
+    f.emit(ir.AddConst(ECX, 0xFFFFFFFF))   # -1 without a scratch register
+    f.emit(ir.Store(ESI, ECX, 512))
+    f.emit(ir.Branch("eq", ECX, 0, "store"))
+    f.emit(ir.Const(ECX, 1))
+    f.emit(ir.BinOp("add", EAX, ECX))
+    f.emit(ir.Const(ECX, 63))
+    f.emit(ir.BinOp("and", EAX, ECX))
+    f.emit(ir.Jump("probe"))
+    f.emit(ir.Label("store"))
+    f.emit(ir.Store(EDX, EBX, 0))
+    f.emit(ir.Store(EDX, EDI, 4))
+    f.emit(ir.Ret())
+    return f
+
+
+def sym_find() -> ir.IRFunction:
+    """sym_find(table, key): value for key, or 0 when absent/empty."""
+    f = ir.IRFunction("sym_find", params=2)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(EBX, 1))
+    f.emit(ir.Mov(EAX, EBX))
+    f.emit(ir.Const(ECX, 63))
+    f.emit(ir.BinOp("and", EAX, ECX))
+    f.emit(ir.Const(EDI, 64))           # probe budget
+    f.emit(ir.Label("probe"))
+    f.emit(ir.Mov(EDX, EAX))
+    f.emit(ir.Shift("shl", EDX, 3))
+    f.emit(ir.BinOp("add", EDX, ESI))
+    f.emit(ir.Load(ECX, EDX, 0))
+    f.emit(ir.Branch("eq", ECX, EBX, "hit"))
+    f.emit(ir.Branch("eq", ECX, 0, "miss"))
+    f.emit(ir.Const(ECX, 1))
+    f.emit(ir.BinOp("add", EAX, ECX))
+    f.emit(ir.Const(ECX, 63))
+    f.emit(ir.BinOp("and", EAX, ECX))
+    f.emit(ir.Const(ECX, 1))
+    f.emit(ir.BinOp("sub", EDI, ECX))
+    f.emit(ir.Branch("ne", EDI, 0, "probe"))
+    f.emit(ir.Label("miss"))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Ret())
+    f.emit(ir.Label("hit"))
+    f.emit(ir.Load(EAX, EDX, 4))
+    f.emit(ir.Ret())
+    return f
+
+
+def rpn_eval() -> ir.IRFunction:
+    """rpn_eval(tokens, n, stack): evaluate RPN over word tokens.
+
+    Token encoding: 1=add 2=sub 3=mul 4=xor, values are (x << 3) | 7.
+    A compact expression interpreter — the most operation-diverse
+    function in the gcc-like program.
+    """
+    f = ir.IRFunction("rpn_eval", params=3)
+    f.emit(ir.Param(ESI, 0))            # tokens
+    f.emit(ir.Param(EBX, 1))            # n
+    f.emit(ir.Param(EDI, 2))            # eval stack base (grows up)
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", EBX, 0, "done"))
+    f.emit(ir.Load(EAX, ESI, 0))        # token
+    f.emit(ir.Mov(ECX, EAX))
+    f.emit(ir.Const(EDX, 7))
+    f.emit(ir.BinOp("and", ECX, EDX))
+    f.emit(ir.Branch("eq", ECX, 7, "push_value"))
+    # binary operator: pop two
+    f.emit(ir.Const(EDX, 8))
+    f.emit(ir.BinOp("sub", EDI, EDX))
+    f.emit(ir.Load(ECX, EDI, 0))        # lhs
+    f.emit(ir.Load(EDX, EDI, 4))        # rhs
+    f.emit(ir.Branch("eq", EAX, 1, "op_add"))
+    f.emit(ir.Branch("eq", EAX, 2, "op_sub"))
+    f.emit(ir.Branch("eq", EAX, 3, "op_mul"))
+    f.emit(ir.BinOp("xor", ECX, EDX))
+    f.emit(ir.Jump("op_done"))
+    f.emit(ir.Label("op_add"))
+    f.emit(ir.BinOp("add", ECX, EDX))
+    f.emit(ir.Jump("op_done"))
+    f.emit(ir.Label("op_sub"))
+    f.emit(ir.BinOp("sub", ECX, EDX))
+    f.emit(ir.Jump("op_done"))
+    f.emit(ir.Label("op_mul"))
+    f.emit(ir.BinOp("mul", ECX, EDX))
+    f.emit(ir.Label("op_done"))
+    f.emit(ir.Store(EDI, ECX, 0))
+    f.emit(ir.Const(EDX, 4))
+    f.emit(ir.BinOp("add", EDI, EDX))
+    f.emit(ir.Jump("next"))
+    f.emit(ir.Label("push_value"))
+    f.emit(ir.Shift("shr", EAX, 3))
+    f.emit(ir.Store(EDI, EAX, 0))
+    f.emit(ir.Const(EDX, 4))
+    f.emit(ir.BinOp("add", EDI, EDX))
+    f.emit(ir.Label("next"))
+    f.emit(ir.Const(EDX, 4))
+    f.emit(ir.BinOp("add", ESI, EDX))
+    f.emit(ir.Const(EDX, 1))
+    f.emit(ir.BinOp("sub", EBX, EDX))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Load(EAX, EDI, -4))       # top of stack
+    f.emit(ir.Ret())
+    return f
+
+
+def make_digest(
+    name: str,
+    rounds: int = 16,
+    branchy: bool = True,
+    use_mul: bool = False,
+) -> ir.IRFunction:
+    """digest(x, seed, cell): operation-rich accumulator functions.
+
+    Every corpus program has one: a statistics/fingerprint helper,
+    called once per processing block, cheap relative to the block's
+    work, and deliberately rich in operation types — exactly what the
+    §VII-B selection algorithm looks for in verification code.  The
+    ``rounds``/``branchy`` knobs shape the resulting chain's cost: a
+    branchy loop translates into many stack-pivot sequences (wget-like,
+    high Fig. 5a slowdown) while a straight-line digest stays cheap
+    (gcc-like).
+
+    ``cell`` points at a writable word used as a running cross-call
+    accumulator (gives the chain genuine load/store gadget coverage).
+    """
+    f = ir.IRFunction(name, params=3)
+    f.emit(ir.Param(EAX, 0))            # x
+    f.emit(ir.Param(EBX, 1))            # seed
+    f.emit(ir.Param(ESI, 2))            # stats cell
+    f.emit(ir.Load(EDX, ESI, 0))
+    f.emit(ir.BinOp("xor", EAX, EDX))
+    if rounds:
+        f.emit(ir.Const(ECX, rounds))
+        f.emit(ir.Label("round"))
+        if branchy:
+            f.emit(ir.Mov(EDX, EAX))
+            f.emit(ir.BinOp("and", EDX, ECX))
+            f.emit(ir.Branch("eq", EDX, 0, "even"))
+            f.emit(ir.BinOp("xor", EAX, EBX))
+            f.emit(ir.Shift("shr", EAX, 1))
+            f.emit(ir.Const(EDX, 0x82F63B78))
+            f.emit(ir.BinOp("xor", EAX, EDX))
+            f.emit(ir.Jump("next"))
+            f.emit(ir.Label("even"))
+            f.emit(ir.Shift("shr", EAX, 1))
+            f.emit(ir.Mov(EDX, EBX))
+            f.emit(ir.BinOp("or", EAX, EDX))
+            f.emit(ir.Label("next"))
+        else:
+            f.emit(ir.Shift("shl", EAX, 1))
+            f.emit(ir.BinOp("xor", EAX, EBX))
+        if use_mul:
+            f.emit(ir.Const(EDX, 0x01000193))
+            f.emit(ir.BinOp("mul", EAX, EDX))
+        f.emit(ir.BinOp("add", EBX, EAX))
+        f.emit(ir.Const(EDX, 1))
+        f.emit(ir.BinOp("sub", ECX, EDX))
+        f.emit(ir.Branch("ne", ECX, 0, "round"))
+    # straight-line tail: widen the op-kind inventory
+    f.emit(ir.Mov(EDX, EAX))
+    f.emit(ir.Shift("sar", EDX, 7))
+    f.emit(ir.BinOp("sub", EAX, EDX))
+    f.emit(ir.Not(EDX))
+    f.emit(ir.BinOp("and", EDX, EBX))
+    f.emit(ir.BinOp("or", EAX, EDX))
+    f.emit(ir.Neg(EDX))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.Mov(EDX, EAX))
+    f.emit(ir.Shift("shl", EDX, 3))
+    f.emit(ir.BinOp("xor", EAX, EDX))
+    if use_mul and not rounds:
+        f.emit(ir.Const(EDX, 0x01000193))
+        f.emit(ir.BinOp("mul", EAX, EDX))
+    f.emit(ir.Store(ESI, EAX, 0))       # update the stats cell
+    f.emit(ir.Ret())
+    return f

@@ -1,0 +1,13 @@
+"""Stream ciphers used for encrypted verification chains."""
+
+from .rc4 import rc4_crypt, rc4_ksa, rc4_stream
+from .xorstream import xor_crypt_words, xor_keystream_words, xorshift32
+
+__all__ = [
+    "rc4_crypt",
+    "rc4_ksa",
+    "rc4_stream",
+    "xor_crypt_words",
+    "xor_keystream_words",
+    "xorshift32",
+]

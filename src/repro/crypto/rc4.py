@@ -1,0 +1,41 @@
+"""RC4 stream cipher (reference implementation).
+
+Used two ways: (1) as the Python-side encryptor when the pipeline
+prepares RC4-protected chains, and (2) as the reference the emulated
+RC4 decryptor (IR runtime support) is tested against.  RC4 is obsolete
+as a cipher; the paper uses it purely as a tamper-analysis obstacle and
+performance datapoint, and so do we.
+"""
+
+from __future__ import annotations
+
+
+def rc4_ksa(key: bytes) -> list:
+    """Key-scheduling algorithm: returns the initial permutation S."""
+    if not key:
+        raise ValueError("RC4 key must be non-empty")
+    s = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + s[i] + key[i % len(key)]) & 0xFF
+        s[i], s[j] = s[j], s[i]
+    return s
+
+
+def rc4_stream(key: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes."""
+    s = rc4_ksa(key)
+    out = bytearray()
+    i = j = 0
+    for _ in range(length):
+        i = (i + 1) & 0xFF
+        j = (j + s[i]) & 0xFF
+        s[i], s[j] = s[j], s[i]
+        out.append(s[(s[i] + s[j]) & 0xFF])
+    return bytes(out)
+
+
+def rc4_crypt(key: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt (RC4 is symmetric)."""
+    stream = rc4_stream(key, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))

@@ -1,0 +1,41 @@
+"""Word-wise xor keystream for cheap chain encryption.
+
+The paper's xor-encrypted function chains use a lightweight keystream;
+we use a 32-bit xorshift generator seeded by the key, matching the
+emulated decryptor in the runtime-support IR.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFFFFFF
+
+
+def xorshift32(state: int) -> int:
+    """One step of the xorshift32 PRNG (Marsaglia)."""
+    state &= MASK32
+    state ^= (state << 13) & MASK32
+    state ^= state >> 17
+    state ^= (state << 5) & MASK32
+    return state & MASK32
+
+
+def xor_keystream_words(seed: int, count: int) -> list:
+    """``count`` keystream words from ``seed`` (seed 0 is remapped)."""
+    state = seed & MASK32 or 0x9E3779B9
+    out = []
+    for _ in range(count):
+        state = xorshift32(state)
+        out.append(state)
+    return out
+
+
+def xor_crypt_words(seed: int, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` (length a multiple of 4) word-wise."""
+    if len(data) % 4:
+        raise ValueError("data length must be a multiple of 4")
+    words = [int.from_bytes(data[i : i + 4], "little") for i in range(0, len(data), 4)]
+    stream = xor_keystream_words(seed, len(words))
+    out = bytearray()
+    for word, ks in zip(words, stream):
+        out += ((word ^ ks) & MASK32).to_bytes(4, "little")
+    return bytes(out)

@@ -1,0 +1,35 @@
+"""IA-32 emulator substrate: memory with I/D split, CPU, toy OS, profiler."""
+
+from .cpu import CPUState
+from .emulator import CALL_SENTINEL, CYCLE_COSTS, Emulator, RunResult, run_image
+from .errors import (
+    BadFetch,
+    BadMemoryAccess,
+    DivideError,
+    EmulationError,
+    Halted,
+    StepLimitExceeded,
+    UnsupportedSyscall,
+)
+from .memory import PAGE_SIZE, Memory
+from .profiler import FunctionProfile, Profiler, profile_run
+from .syscalls import (
+    ExitProgram,
+    OperatingSystem,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_PTRACE,
+    SYS_READ,
+    SYS_TIME,
+    SYS_WRITE,
+)
+
+__all__ = [
+    "CPUState", "Emulator", "RunResult", "run_image", "CALL_SENTINEL",
+    "CYCLE_COSTS", "Memory", "PAGE_SIZE",
+    "BadFetch", "BadMemoryAccess", "DivideError", "EmulationError",
+    "Halted", "StepLimitExceeded", "UnsupportedSyscall",
+    "FunctionProfile", "Profiler", "profile_run",
+    "ExitProgram", "OperatingSystem",
+    "SYS_EXIT", "SYS_GETPID", "SYS_PTRACE", "SYS_READ", "SYS_TIME", "SYS_WRITE",
+]

@@ -1,0 +1,163 @@
+"""CPU register and flag state."""
+
+from __future__ import annotations
+
+from ..x86.registers import Register
+
+MASK32 = 0xFFFFFFFF
+MASK16 = 0xFFFF
+MASK8 = 0xFF
+
+
+class CPUState:
+    """IA-32 general-purpose register file, eip and arithmetic flags.
+
+    Registers are stored as eight unsigned 32-bit integers indexed by the
+    hardware register code; 8/16-bit accesses alias into them exactly as
+    on real hardware (``ah`` is bits 8..15 of ``eax``).
+    """
+
+    __slots__ = ("regs", "eip", "cf", "zf", "sf", "of")
+
+    def __init__(self):
+        self.regs = [0] * 8
+        self.eip = 0
+        self.cf = False
+        self.zf = False
+        self.sf = False
+        self.of = False
+
+    # ------------------------------------------------------------------
+    # Register access
+    # ------------------------------------------------------------------
+
+    def get(self, reg: Register) -> int:
+        if reg.width == 32:
+            return self.regs[reg.code]
+        if reg.width == 16:
+            return self.regs[reg.code] & MASK16
+        if reg.code < 4:  # al/cl/dl/bl
+            return self.regs[reg.code] & MASK8
+        return (self.regs[reg.code - 4] >> 8) & MASK8  # ah/ch/dh/bh
+
+    def set(self, reg: Register, value: int) -> None:
+        if reg.width == 32:
+            self.regs[reg.code] = value & MASK32
+        elif reg.width == 16:
+            self.regs[reg.code] = (self.regs[reg.code] & ~MASK16) | (value & MASK16)
+        elif reg.code < 4:
+            self.regs[reg.code] = (self.regs[reg.code] & ~MASK8) | (value & MASK8)
+        else:
+            code = reg.code - 4
+            self.regs[code] = (self.regs[code] & ~0xFF00) | ((value & MASK8) << 8)
+
+    # Convenience properties for the hot registers.
+
+    @property
+    def eax(self) -> int:
+        return self.regs[0]
+
+    @eax.setter
+    def eax(self, value: int) -> None:
+        self.regs[0] = value & MASK32
+
+    @property
+    def esp(self) -> int:
+        return self.regs[4]
+
+    @esp.setter
+    def esp(self, value: int) -> None:
+        self.regs[4] = value & MASK32
+
+    @property
+    def ebp(self) -> int:
+        return self.regs[5]
+
+    @ebp.setter
+    def ebp(self, value: int) -> None:
+        self.regs[5] = value & MASK32
+
+    # ------------------------------------------------------------------
+    # Flags
+    # ------------------------------------------------------------------
+
+    def set_logic_flags(self, result: int, width: int) -> None:
+        """Flags after and/or/xor/test: CF=OF=0, ZF/SF from result."""
+        mask = (1 << width) - 1
+        result &= mask
+        self.cf = False
+        self.of = False
+        self.zf = result == 0
+        self.sf = bool(result >> (width - 1))
+
+    def set_add_flags(self, a: int, b: int, carry_in: int, width: int) -> int:
+        """Flags after add/adc; returns the masked result."""
+        mask = (1 << width) - 1
+        raw = (a & mask) + (b & mask) + carry_in
+        result = raw & mask
+        sign = 1 << (width - 1)
+        self.cf = raw > mask
+        self.zf = result == 0
+        self.sf = bool(result & sign)
+        self.of = bool((~(a ^ b)) & (a ^ result) & sign)
+        return result
+
+    def set_sub_flags(self, a: int, b: int, borrow_in: int, width: int) -> int:
+        """Flags after sub/sbb/cmp; returns the masked result."""
+        mask = (1 << width) - 1
+        raw = (a & mask) - (b & mask) - borrow_in
+        result = raw & mask
+        sign = 1 << (width - 1)
+        self.cf = raw < 0
+        self.zf = result == 0
+        self.sf = bool(result & sign)
+        self.of = bool((a ^ b) & (a ^ result) & sign)
+        return result
+
+    def condition(self, cc: str) -> bool:
+        """Evaluate a jcc/setcc condition-code suffix."""
+        if cc == "o":
+            return self.of
+        if cc == "no":
+            return not self.of
+        if cc == "b":
+            return self.cf
+        if cc == "ae":
+            return not self.cf
+        if cc == "e":
+            return self.zf
+        if cc == "ne":
+            return not self.zf
+        if cc == "be":
+            return self.cf or self.zf
+        if cc == "a":
+            return not (self.cf or self.zf)
+        if cc == "s":
+            return self.sf
+        if cc == "ns":
+            return not self.sf
+        if cc == "p" or cc == "np":
+            # Parity is not modelled; no corpus code branches on it.
+            return cc == "np"
+        if cc == "l":
+            return self.sf != self.of
+        if cc == "ge":
+            return self.sf == self.of
+        if cc == "le":
+            return self.zf or (self.sf != self.of)
+        if cc == "g":
+            return not self.zf and (self.sf == self.of)
+        raise ValueError(f"unknown condition code {cc!r}")
+
+    def snapshot(self) -> dict:
+        """Copy of the architectural state, for tests and debugging."""
+        return {
+            "regs": list(self.regs),
+            "eip": self.eip,
+            "flags": {"cf": self.cf, "zf": self.zf, "sf": self.sf, "of": self.of},
+        }
+
+    def __repr__(self) -> str:
+        names = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+        regs = " ".join(f"{n}={v:#x}" for n, v in zip(names, self.regs))
+        return f"<CPU eip={self.eip:#x} {regs}>"

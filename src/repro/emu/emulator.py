@@ -1,0 +1,554 @@
+"""The IA-32 emulator.
+
+Executes binary images instruction by instruction, counting cycles with a
+simple per-opcode cost model.  ROP chains need no special support: the
+genuine ``ret`` semantics (pop eip from the stack) execute them exactly
+as real hardware would.
+
+The fetch path reads the *instruction view* of memory
+(:meth:`repro.emu.memory.Memory.fetch`), while loads/stores use the data
+view — this is what makes the Wurster attack expressible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..binary.image import BinaryImage
+from ..x86.decoder import decode
+from ..x86.errors import DecodeError
+from ..x86.instruction import Instruction
+from ..x86.operands import Imm, Mem, Rel, to_signed
+from ..x86.registers import Register
+from .cpu import CPUState, MASK32
+from .errors import (
+    BadFetch,
+    BadMemoryAccess,
+    DivideError,
+    EmulationError,
+    Halted,
+    StepLimitExceeded,
+)
+from .memory import Memory
+from .syscalls import ExitProgram, OperatingSystem
+
+#: Return-address sentinel used by ``call_function``; never mapped.
+CALL_SENTINEL = 0xDEAD0000
+
+#: Conditional-jump mnemonics (hot-path dispatch set).
+_JCC = frozenset(
+    {
+        "jo", "jno", "jb", "jae", "je", "jne", "jbe", "ja",
+        "js", "jns", "jp", "jnp", "jl", "jge", "jle", "jg",
+    }
+)
+
+#: Cycle cost per mnemonic (default 1); memory operands add 1 each.
+CYCLE_COSTS = {
+    "mul": 4,
+    "imul": 4,
+    "div": 24,
+    "idiv": 24,
+    "call": 2,
+    "ret": 2,
+    "retf": 3,
+    "pushad": 8,
+    "popad": 8,
+    "leave": 2,
+    "int": 60,
+}
+
+#: Extra cycles when a return's target does not match the shadow
+#: return-address stack — the branch-predictor miss that makes ROP
+#: chains an order of magnitude slower than straight code on real
+#: hardware.  Calls/returns in ordinary code pair up and stay cheap.
+RET_MISPREDICT_PENALTY = 18
+
+#: Depth of the modelled return-stack buffer (typical hardware: 16).
+RAS_DEPTH = 16
+
+_STACK_TOP_DEFAULT = 0x00C0_0000
+_STACK_SIZE_DEFAULT = 0x4_0000
+
+
+class RunResult:
+    """Outcome of a completed emulation run."""
+
+    __slots__ = ("exit_status", "steps", "cycles", "stdout", "fault")
+
+    def __init__(self, exit_status, steps, cycles, stdout, fault=None):
+        self.exit_status = exit_status
+        self.steps = steps
+        self.cycles = cycles
+        self.stdout = stdout
+        self.fault = fault
+
+    @property
+    def crashed(self) -> bool:
+        return self.fault is not None
+
+    def __repr__(self) -> str:
+        if self.crashed:
+            return f"<RunResult FAULT {self.fault!r} steps={self.steps}>"
+        return (
+            f"<RunResult exit={self.exit_status} steps={self.steps} "
+            f"cycles={self.cycles}>"
+        )
+
+
+class Emulator:
+    """Executes one process image.
+
+    Args:
+        image: the program to load; all sections are mapped at their
+            virtual addresses.
+        os: toy OS instance (fresh one created if omitted).
+        stack_top: initial esp (grows down).
+        max_steps: instruction budget; exceeded → :class:`StepLimitExceeded`.
+    """
+
+    def __init__(
+        self,
+        image: Optional[BinaryImage] = None,
+        os: Optional[OperatingSystem] = None,
+        stack_top: int = _STACK_TOP_DEFAULT,
+        max_steps: int = 5_000_000,
+    ):
+        self.memory = Memory()
+        self.cpu = CPUState()
+        self.os = os if os is not None else OperatingSystem()
+        self.image = image
+        self.max_steps = max_steps
+        self.steps = 0
+        self.cycles = 0
+        self.ret_mispredicts = 0
+        self._ras = []  # shadow return-address stack (branch predictor)
+        #: optional per-step callback(eip, instruction) for profilers
+        self.trace_hook: Optional[Callable[[int, Instruction], None]] = None
+        self._decode_cache = {}
+
+        self.memory.map_zero(stack_top - _STACK_SIZE_DEFAULT, _STACK_SIZE_DEFAULT)
+        self.cpu.esp = stack_top - 64
+
+        if image is not None:
+            for section in image.sections:
+                self.memory.map(section.vaddr, bytes(section.data))
+            self.cpu.eip = image.entry
+
+    # ------------------------------------------------------------------
+    # Operand helpers
+    # ------------------------------------------------------------------
+
+    def _effective_address(self, mem: Mem) -> int:
+        addr = mem.disp
+        if mem.base is not None:
+            addr += self.cpu.get(mem.base)
+        if mem.index is not None:
+            addr += self.cpu.get(mem.index) * mem.scale
+        return addr & MASK32
+
+    def _read_operand(self, op, width: int) -> int:
+        if isinstance(op, Register):
+            return self.cpu.get(op)
+        if isinstance(op, Imm):
+            if op.width < width:
+                return op.signed & ((1 << width) - 1)
+            return op.value
+        if isinstance(op, Mem):
+            addr = self._effective_address(op)
+            try:
+                if op.width == 8:
+                    return self.memory.read_u8(addr)
+                if op.width == 16:
+                    return self.memory.read_u16(addr)
+                return self.memory.read_u32(addr)
+            except BadMemoryAccess as exc:
+                raise BadMemoryAccess(str(exc), eip=self.cpu.eip) from exc
+        raise EmulationError(f"cannot read operand {op!r}", eip=self.cpu.eip)
+
+    def _write_operand(self, op, value: int) -> None:
+        if isinstance(op, Register):
+            self.cpu.set(op, value)
+            return
+        if isinstance(op, Mem):
+            addr = self._effective_address(op)
+            try:
+                if op.width == 8:
+                    self.memory.write_u8(addr, value)
+                elif op.width == 16:
+                    self.memory.write_u16(addr, value)
+                else:
+                    self.memory.write_u32(addr, value)
+            except BadMemoryAccess as exc:
+                raise BadMemoryAccess(str(exc), eip=self.cpu.eip) from exc
+            return
+        raise EmulationError(f"cannot write operand {op!r}", eip=self.cpu.eip)
+
+    @staticmethod
+    def _width_of(op) -> int:
+        if isinstance(op, (Register, Mem, Imm)):
+            return op.width
+        return 32
+
+    # ------------------------------------------------------------------
+    # Stack helpers
+    # ------------------------------------------------------------------
+
+    def push(self, value: int) -> None:
+        self.cpu.esp = (self.cpu.esp - 4) & MASK32
+        self.memory.write_u32(self.cpu.esp, value)
+
+    def pop(self) -> int:
+        value = self.memory.read_u32(self.cpu.esp)
+        self.cpu.esp = (self.cpu.esp + 4) & MASK32
+        return value
+
+    # ------------------------------------------------------------------
+    # Fetch/decode
+    # ------------------------------------------------------------------
+
+    def _fetch_decode(self, eip: int) -> Instruction:
+        # Decode results are cached per address and invalidated via the
+        # memory's per-page write counters, so tampering/self-modifying
+        # code is still decoded faithfully.
+        version = self.memory.page_version(eip)
+        cached = self._decode_cache.get(eip)
+        if cached is not None:
+            insn, cached_version, end_version = cached
+            if cached_version == version and (
+                end_version is None
+                or end_version == self.memory.page_version(eip + insn.length - 1)
+            ):
+                return insn
+
+        window = self.memory.fetch_window(eip, 16)
+        if not window:
+            raise BadFetch(f"fetch from unmapped {eip:#x}", eip=eip)
+        try:
+            insn = decode(window, 0, address=eip)
+        except DecodeError as exc:
+            raise BadFetch(
+                f"undecodable bytes {window[:8].hex()} at {eip:#x}", eip=eip
+            ) from exc
+        if len(self._decode_cache) > 1 << 16:
+            self._decode_cache.clear()
+        end_addr = eip + insn.length - 1
+        end_version = (
+            self.memory.page_version(end_addr) if (end_addr >> 12) != (eip >> 12) else None
+        )
+        self._decode_cache[eip] = (insn, version, end_version)
+        return insn
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns it."""
+        if self.steps >= self.max_steps:
+            raise StepLimitExceeded(
+                f"exceeded {self.max_steps} steps", eip=self.cpu.eip
+            )
+        eip = self.cpu.eip
+        insn = self._fetch_decode(eip)
+        self.steps += 1
+        cost = insn.cycle_cost
+        if cost is None:
+            cost = CYCLE_COSTS.get(insn.mnemonic, 1)
+            for op in insn.operands:
+                if isinstance(op, Mem):
+                    cost += 1
+            insn.cycle_cost = cost
+        self.cycles += cost
+        if self.trace_hook is not None:
+            self.trace_hook(eip, insn)
+        next_eip = (eip + insn.length) & MASK32
+        self.cpu.eip = next_eip
+        self._execute(insn)
+        return insn
+
+    def run(self) -> RunResult:
+        """Run until the program exits (or faults).
+
+        Faults are captured in the result rather than propagated, so the
+        attack harness can score "crash" outcomes uniformly.
+        """
+        fault = None
+        try:
+            while True:
+                self.step()
+        except ExitProgram:
+            pass
+        except EmulationError as exc:
+            fault = exc
+        return RunResult(
+            exit_status=self.os.exit_status,
+            steps=self.steps,
+            cycles=self.cycles,
+            stdout=bytes(self.os.stdout),
+            fault=fault,
+        )
+
+    def call_function(self, vaddr: int, args=(), max_steps: Optional[int] = None):
+        """Call a function at ``vaddr`` with cdecl int args; returns eax.
+
+        Raises on fault (unlike :meth:`run`) so unit tests see precise
+        errors.
+        """
+        if max_steps is not None:
+            self.max_steps = self.steps + max_steps
+        for arg in reversed(args):
+            self.push(arg & MASK32)
+        self.push(CALL_SENTINEL)
+        self.cpu.eip = vaddr
+        while self.cpu.eip != CALL_SENTINEL:
+            self.step()
+        # Caller cleans up arguments, as with cdecl.
+        self.cpu.esp = (self.cpu.esp + 4 * len(args)) & MASK32
+        return self.cpu.eax
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+
+    def _execute(self, insn: Instruction) -> None:
+        m = insn.mnemonic
+        ops = insn.operands
+        cpu = self.cpu
+
+        if m == "mov":
+            value = self._read_operand(ops[1], self._width_of(ops[0]))
+            self._write_operand(ops[0], value)
+        elif m == "push":
+            self.push(self._read_operand(ops[0], 32))
+        elif m == "pop":
+            value = self.pop()
+            self._write_operand(ops[0], value)
+        elif m == "ret":
+            cpu.eip = self.pop()
+            if ops:
+                cpu.esp = (cpu.esp + ops[0].value) & MASK32
+            self._predict_return(cpu.eip)
+        elif m[0] == "j" and m in _JCC:
+            if cpu.condition(m[1:]):
+                cpu.eip = self._branch_target(ops[0])
+        elif m == "call":
+            target = self._branch_target(ops[0])
+            self.push(cpu.eip)
+            if len(self._ras) >= RAS_DEPTH:
+                del self._ras[0]
+            self._ras.append(cpu.eip)
+            cpu.eip = target
+        elif m == "jmp":
+            cpu.eip = self._branch_target(ops[0])
+        elif m in ("add", "adc"):
+            width = self._width_of(ops[0])
+            a = self._read_operand(ops[0], width)
+            b = self._read_operand(ops[1], width)
+            carry = int(cpu.cf) if m == "adc" else 0
+            self._write_operand(ops[0], cpu.set_add_flags(a, b, carry, width))
+        elif m in ("sub", "sbb"):
+            width = self._width_of(ops[0])
+            a = self._read_operand(ops[0], width)
+            b = self._read_operand(ops[1], width)
+            borrow = int(cpu.cf) if m == "sbb" else 0
+            self._write_operand(ops[0], cpu.set_sub_flags(a, b, borrow, width))
+        elif m == "cmp":
+            width = self._width_of(ops[0])
+            a = self._read_operand(ops[0], width)
+            b = self._read_operand(ops[1], width)
+            cpu.set_sub_flags(a, b, 0, width)
+        elif m in ("and", "or", "xor"):
+            width = self._width_of(ops[0])
+            a = self._read_operand(ops[0], width)
+            b = self._read_operand(ops[1], width)
+            result = a & b if m == "and" else (a | b if m == "or" else a ^ b)
+            cpu.set_logic_flags(result, width)
+            self._write_operand(ops[0], result)
+        elif m == "test":
+            width = self._width_of(ops[0])
+            a = self._read_operand(ops[0], width)
+            b = self._read_operand(ops[1], width)
+            cpu.set_logic_flags(a & b, width)
+        elif m in ("inc", "dec"):
+            width = self._width_of(ops[0])
+            a = self._read_operand(ops[0], width)
+            carry = cpu.cf  # inc/dec preserve CF
+            if m == "inc":
+                result = cpu.set_add_flags(a, 1, 0, width)
+            else:
+                result = cpu.set_sub_flags(a, 1, 0, width)
+            cpu.cf = carry
+            self._write_operand(ops[0], result)
+        elif m == "neg":
+            width = self._width_of(ops[0])
+            a = self._read_operand(ops[0], width)
+            result = cpu.set_sub_flags(0, a, 0, width)
+            self._write_operand(ops[0], result)
+        elif m == "not":
+            width = self._width_of(ops[0])
+            a = self._read_operand(ops[0], width)
+            self._write_operand(ops[0], ~a & ((1 << width) - 1))
+        elif m == "lea":
+            self._write_operand(ops[0], self._effective_address(ops[1]))
+        elif m == "xchg":
+            wa, wb = self._width_of(ops[0]), self._width_of(ops[1])
+            a = self._read_operand(ops[0], wa)
+            b = self._read_operand(ops[1], wb)
+            self._write_operand(ops[0], b)
+            self._write_operand(ops[1], a)
+        elif m in ("shl", "shr", "sar"):
+            self._execute_shift(m, ops)
+        elif m == "pushad":
+            original_esp = cpu.esp
+            for code in range(8):
+                self.push(original_esp if code == 4 else cpu.regs[code])
+        elif m == "popad":
+            for code in reversed(range(8)):
+                value = self.pop()
+                if code != 4:  # esp is popped but discarded
+                    cpu.regs[code] = value
+        elif m == "leave":
+            cpu.esp = cpu.ebp
+            cpu.ebp = self.pop()
+        elif m == "retf":
+            cpu.eip = self.pop()
+            self.pop()  # discard code-segment word
+            if ops:
+                cpu.esp = (cpu.esp + ops[0].value) & MASK32
+            self._predict_return(cpu.eip)
+        elif m.startswith("set"):
+            self._write_operand(ops[0], int(cpu.condition(m[3:])))
+        elif m in ("movzx", "movsx"):
+            src_width = self._width_of(ops[1])
+            value = self._read_operand(ops[1], src_width)
+            if m == "movsx":
+                value = to_signed(value, src_width) & MASK32
+            self._write_operand(ops[0], value)
+        elif m in ("mul", "imul"):
+            self._execute_multiply(m, ops)
+        elif m in ("div", "idiv"):
+            self._execute_divide(m, ops)
+        elif m == "cdq":
+            cpu.regs[2] = MASK32 if cpu.regs[0] & 0x8000_0000 else 0
+        elif m == "nop":
+            pass
+        elif m == "int":
+            if ops[0].value == 0x80:
+                cpu.regs[0] = self.os.dispatch(self) & MASK32
+            else:
+                raise EmulationError(
+                    f"unhandled software interrupt {ops[0].value:#x}", eip=cpu.eip
+                )
+        elif m == "int3":
+            raise EmulationError("breakpoint trap (int3)", eip=cpu.eip)
+        elif m == "hlt":
+            raise Halted("hlt executed", eip=cpu.eip)
+        else:
+            raise EmulationError(f"unimplemented mnemonic {m!r}", eip=cpu.eip)
+
+    def _predict_return(self, target: int) -> None:
+        """Charge the return-predictor penalty on RAS mismatch."""
+        if self._ras and self._ras[-1] == target:
+            self._ras.pop()
+            return
+        if self._ras:
+            self._ras.pop()
+        self.ret_mispredicts += 1
+        self.cycles += RET_MISPREDICT_PENALTY
+
+    def _branch_target(self, op) -> int:
+        if isinstance(op, Rel):
+            # Rel targets were resolved against the decode address, which
+            # is the current instruction — eip already points past it.
+            return op.target & MASK32
+        return self._read_operand(op, 32)
+
+    def _execute_shift(self, m: str, ops) -> None:
+        cpu = self.cpu
+        width = self._width_of(ops[0])
+        count = self._read_operand(ops[1], 8) & 0x1F
+        value = self._read_operand(ops[0], width)
+        if count == 0:
+            return
+        mask = (1 << width) - 1
+        if m == "shl":
+            result = (value << count) & mask
+            cpu.cf = bool((value >> (width - count)) & 1) if count <= width else False
+        elif m == "shr":
+            result = (value >> count) & mask
+            cpu.cf = bool((value >> (count - 1)) & 1)
+        else:  # sar
+            signed = to_signed(value, width)
+            cpu.cf = bool((signed >> (count - 1)) & 1) if count <= width else signed < 0
+            result = (signed >> count) & mask if count < width else (mask if signed < 0 else 0)
+        cpu.zf = result == 0
+        cpu.sf = bool(result >> (width - 1))
+        self._write_operand(ops[0], result)
+
+    def _execute_multiply(self, m: str, ops) -> None:
+        cpu = self.cpu
+        if m == "imul" and len(ops) == 3:  # imul r32, r/m32, imm
+            a = to_signed(self._read_operand(ops[1], 32), 32)
+            b = ops[2].signed
+            product = a * b
+            result = product & MASK32
+            cpu.cf = cpu.of = product != to_signed(result, 32)
+            self._write_operand(ops[0], result)
+        elif m == "imul" and len(ops) == 2:  # imul r32, r/m32
+            a = to_signed(self.cpu.get(ops[0]), 32)
+            b = to_signed(self._read_operand(ops[1], 32), 32)
+            product = a * b
+            result = product & MASK32
+            cpu.cf = cpu.of = product != to_signed(result, 32)
+            self._write_operand(ops[0], result)
+        else:  # one-operand mul/imul: edx:eax = eax * op
+            width = self._width_of(ops[0])
+            if width != 32:
+                raise EmulationError("8-bit multiply not supported", eip=cpu.eip)
+            a = cpu.regs[0]
+            b = self._read_operand(ops[0], 32)
+            if m == "imul":
+                product = to_signed(a, 32) * to_signed(b, 32)
+            else:
+                product = a * b
+            cpu.regs[0] = product & MASK32
+            cpu.regs[2] = (product >> 32) & MASK32
+            if m == "imul":
+                # CF=OF unless edx:eax is just the sign extension of eax.
+                cpu.cf = cpu.of = product != to_signed(product & MASK32, 32)
+            else:
+                cpu.cf = cpu.of = cpu.regs[2] != 0
+
+    def _execute_divide(self, m: str, ops) -> None:
+        cpu = self.cpu
+        divisor = self._read_operand(ops[0], 32)
+        dividend = (cpu.regs[2] << 32) | cpu.regs[0]
+        if m == "idiv":
+            divisor = to_signed(divisor, 32)
+            dividend = to_signed(dividend, 64)
+        if divisor == 0:
+            raise DivideError("division by zero", eip=cpu.eip)
+        if m == "idiv":
+            quotient = int(dividend / divisor)  # truncation toward zero
+            remainder = dividend - quotient * divisor
+            if not -(1 << 31) <= quotient < (1 << 31):
+                raise DivideError("idiv quotient overflow", eip=cpu.eip)
+        else:
+            quotient, remainder = divmod(dividend, divisor)
+            if quotient > MASK32:
+                raise DivideError("div quotient overflow", eip=cpu.eip)
+        cpu.regs[0] = quotient & MASK32
+        cpu.regs[2] = remainder & MASK32
+
+
+def run_image(
+    image: BinaryImage,
+    stdin: bytes = b"",
+    debugger_attached: bool = False,
+    max_steps: int = 5_000_000,
+) -> RunResult:
+    """Convenience: load ``image`` into a fresh emulator and run it."""
+    os = OperatingSystem(stdin=stdin, debugger_attached=debugger_attached)
+    emulator = Emulator(image, os=os, max_steps=max_steps)
+    return emulator.run()

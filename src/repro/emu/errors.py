@@ -1,0 +1,39 @@
+"""Emulation faults.
+
+A fault during execution of a verification ROP chain *is* Parallax's
+tamper response: a destroyed gadget makes the chain jump into garbage and
+the emulated program crashes (or produces wrong output).  The attack
+harness therefore treats these exceptions as "tampering detected".
+"""
+
+
+class EmulationError(Exception):
+    """Base class for all emulator faults."""
+
+    def __init__(self, message, eip=None):
+        super().__init__(message)
+        self.eip = eip
+
+
+class BadFetch(EmulationError):
+    """Instruction fetch from an unmapped or undecodable location."""
+
+
+class BadMemoryAccess(EmulationError):
+    """Data access to an unmapped address."""
+
+
+class DivideError(EmulationError):
+    """Division by zero or quotient overflow."""
+
+
+class Halted(EmulationError):
+    """The CPU executed ``hlt``."""
+
+
+class StepLimitExceeded(EmulationError):
+    """The configured instruction budget was exhausted (likely a hang)."""
+
+
+class UnsupportedSyscall(EmulationError):
+    """The program invoked a syscall number the toy OS does not provide."""

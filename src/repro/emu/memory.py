@@ -1,0 +1,207 @@
+"""Paged emulator memory with split instruction/data views.
+
+Modern processors keep separate instruction and data caches.  Wurster et
+al. exploited this to defeat checksumming tamper-proofing: a kernel patch
+lets an attacker modify the *instruction* view of a page while loads keep
+seeing the pristine *data* view — so checksums pass while the CPU runs
+modified code.
+
+:class:`Memory` models exactly that: normal reads/writes go to the
+unified store; :meth:`patch_code_view` installs bytes that are visible
+only to :meth:`fetch` (instruction fetch).  The Wurster attack in
+:mod:`repro.attacks.wurster` is implemented on top of this hook, letting
+us demonstrate that checksumming baselines are blind to it while Parallax
+is not (Parallax chains *execute* the protected bytes, so they see the
+instruction view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .errors import BadMemoryAccess
+
+PAGE_SIZE = 4096
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class Memory:
+    """Sparse paged memory."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+        #: instruction-view overlay: vaddr -> byte (only consulted by fetch)
+        self._code_overlay: Dict[int, int] = {}
+        #: per-page write counters; lets the emulator's decode cache
+        #: detect self-modifying (or tampered) code cheaply.
+        self._versions: Dict[int, int] = {}
+
+    def page_version(self, vaddr: int) -> int:
+        """Monotonic counter bumped whenever the page of ``vaddr`` changes."""
+        return self._versions.get(vaddr >> 12, 0)
+
+    def _bump(self, vaddr: int, length: int = 1) -> None:
+        first = vaddr >> 12
+        last = (vaddr + max(length - 1, 0)) >> 12
+        for number in range(first, last + 1):
+            self._versions[number] = self._versions.get(number, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    def map(self, vaddr: int, data: bytes) -> None:
+        """Map ``data`` at ``vaddr``, allocating pages as needed."""
+        for i, byte in enumerate(data):
+            addr = vaddr + i
+            page = self._page_for(addr, create=True)
+            page[addr & PAGE_MASK] = byte
+        if data:
+            self._bump(vaddr, len(data))
+
+    def map_zero(self, vaddr: int, size: int) -> None:
+        """Map ``size`` zero bytes at ``vaddr``."""
+        first_page = vaddr >> 12
+        last_page = (vaddr + size - 1) >> 12
+        for number in range(first_page, last_page + 1):
+            self._pages.setdefault(number, bytearray(PAGE_SIZE))
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return (vaddr >> 12) in self._pages
+
+    def _page_for(self, vaddr: int, create: bool = False) -> bytearray:
+        number = vaddr >> 12
+        page = self._pages.get(number)
+        if page is None:
+            if not create:
+                raise BadMemoryAccess(f"unmapped address {vaddr:#x}")
+            page = bytearray(PAGE_SIZE)
+            self._pages[number] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # Data view (loads and stores)
+    # ------------------------------------------------------------------
+
+    def read(self, vaddr: int, length: int) -> bytes:
+        """Data-view read. Never sees the instruction overlay."""
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            addr = vaddr + pos
+            page = self._page_for(addr)
+            off = addr & PAGE_MASK
+            chunk = min(length - pos, PAGE_SIZE - off)
+            out[pos : pos + chunk] = page[off : off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write(self, vaddr: int, payload: bytes) -> None:
+        """Data-view write (also updates what fetch sees, unless an
+        instruction-overlay byte shadows it — as on real hardware until
+        the i-cache line is flushed)."""
+        pos = 0
+        while pos < len(payload):
+            addr = vaddr + pos
+            page = self._page_for(addr, create=False)
+            off = addr & PAGE_MASK
+            chunk = min(len(payload) - pos, PAGE_SIZE - off)
+            page[off : off + chunk] = payload[pos : pos + chunk]
+            pos += chunk
+        if payload:
+            self._bump(vaddr, len(payload))
+
+    def read_u8(self, vaddr: int) -> int:
+        return self._page_for(vaddr)[vaddr & PAGE_MASK]
+
+    def write_u8(self, vaddr: int, value: int) -> None:
+        self._page_for(vaddr)[vaddr & PAGE_MASK] = value & 0xFF
+        self._bump(vaddr)
+
+    def read_u16(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 2), "little")
+
+    def read_u32(self, vaddr: int) -> int:
+        off = vaddr & PAGE_MASK
+        if off <= PAGE_SIZE - 4:  # fast path: within one page
+            page = self._page_for(vaddr)
+            return int.from_bytes(page[off : off + 4], "little")
+        return int.from_bytes(self.read(vaddr, 4), "little")
+
+    def write_u16(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def write_u32(self, vaddr: int, value: int) -> None:
+        off = vaddr & PAGE_MASK
+        if off <= PAGE_SIZE - 4:  # fast path: within one page
+            page = self._page_for(vaddr)
+            page[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+            number = vaddr >> 12
+            self._versions[number] = self._versions.get(number, 0) + 1
+            return
+        self.write(vaddr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    # ------------------------------------------------------------------
+    # Instruction view (fetch)
+    # ------------------------------------------------------------------
+
+    def fetch(self, vaddr: int, length: int) -> bytes:
+        """Instruction-view read: overlay bytes shadow the unified store."""
+        data = bytearray(self.read(vaddr, length))
+        if self._code_overlay:
+            for i in range(length):
+                byte = self._code_overlay.get(vaddr + i)
+                if byte is not None:
+                    data[i] = byte
+        return bytes(data)
+
+    def fetch_window(self, vaddr: int, length: int = 16) -> bytes:
+        """Fetch up to ``length`` bytes for decoding, clamped to mapped pages."""
+        out = bytearray()
+        for i in range(length):
+            addr = vaddr + i
+            if not self.is_mapped(addr):
+                break
+            out.append(self._page_for(addr)[addr & PAGE_MASK])
+        if self._code_overlay:
+            for i in range(len(out)):
+                byte = self._code_overlay.get(vaddr + i)
+                if byte is not None:
+                    out[i] = byte
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Wurster-attack hook
+    # ------------------------------------------------------------------
+
+    def patch_code_view(self, vaddr: int, payload: bytes) -> None:
+        """Modify the instruction view only (the Wurster et al. primitive).
+
+        Data reads of the same addresses keep returning the pristine
+        bytes, so checksumming code computes correct checksums over
+        tampered code.
+        """
+        for i, byte in enumerate(payload):
+            if not self.is_mapped(vaddr + i):
+                raise BadMemoryAccess(f"unmapped address {vaddr + i:#x}")
+            self._code_overlay[vaddr + i] = byte
+        if payload:
+            self._bump(vaddr, len(payload))
+
+    def clear_code_view(self, vaddr: Optional[int] = None, length: int = 0) -> None:
+        """Drop overlay bytes (all of them, or a range)."""
+        if vaddr is None:
+            addrs = list(self._code_overlay)
+            self._code_overlay.clear()
+            for addr in addrs:
+                self._bump(addr)
+            return
+        for addr in range(vaddr, vaddr + length):
+            self._code_overlay.pop(addr, None)
+        if length:
+            self._bump(vaddr, length)
+
+    @property
+    def code_view_dirty(self) -> bool:
+        """True while any instruction-view overlay byte is installed."""
+        return bool(self._code_overlay)

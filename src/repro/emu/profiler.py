@@ -1,0 +1,118 @@
+"""Per-function cycle attribution and dynamic call-graph recording.
+
+The verification-function selection algorithm of the paper's §VII-B needs
+(1) how often each function is called, (2) the share of total execution
+time it accounts for.  The profiler gathers both by hooking the
+emulator's per-step trace callback.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Optional
+
+from ..binary.image import BinaryImage
+from .emulator import CYCLE_COSTS, Emulator
+from ..x86.operands import Mem
+
+
+class FunctionProfile:
+    """Aggregated statistics for one function."""
+
+    __slots__ = ("name", "calls", "cycles", "steps")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.cycles = 0
+        self.steps = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<FunctionProfile {self.name} calls={self.calls} "
+            f"cycles={self.cycles}>"
+        )
+
+
+class Profiler:
+    """Attributes executed cycles to the function covering each eip."""
+
+    def __init__(self, image: BinaryImage):
+        self.image = image
+        self.profiles: Dict[str, FunctionProfile] = {}
+        self.call_edges: Counter = Counter()
+        self.total_cycles = 0
+        self._current: Optional[str] = None
+
+    def attach(self, emulator: Emulator) -> None:
+        emulator.trace_hook = self._on_step
+
+    def _profile_for(self, name: str) -> FunctionProfile:
+        prof = self.profiles.get(name)
+        if prof is None:
+            prof = FunctionProfile(name)
+            self.profiles[name] = prof
+        return prof
+
+    def _on_step(self, eip: int, insn) -> None:
+        symbol = self.image.symbols.at(eip)
+        name = symbol.name if symbol is not None else "<unknown>"
+        cost = CYCLE_COSTS.get(insn.mnemonic, 1)
+        for op in insn.operands:
+            if isinstance(op, Mem):
+                cost += 1
+        prof = self._profile_for(name)
+        prof.cycles += cost
+        prof.steps += 1
+        self.total_cycles += cost
+
+        if insn.mnemonic == "call":
+            target = insn.branch_target()
+            if target is not None:
+                callee = self.image.symbols.at(target)
+                if callee is not None:
+                    self._profile_for(callee.name).calls += 1
+                    self.call_edges[(name, callee.name)] += 1
+        self._current = name
+
+    # ------------------------------------------------------------------
+    # Queries used by the selection algorithm
+    # ------------------------------------------------------------------
+
+    def time_fraction(self, name: str) -> float:
+        """Fraction of total cycles spent inside ``name``."""
+        if self.total_cycles == 0:
+            return 0.0
+        prof = self.profiles.get(name)
+        return prof.cycles / self.total_cycles if prof else 0.0
+
+    def call_count(self, name: str) -> int:
+        prof = self.profiles.get(name)
+        return prof.calls if prof else 0
+
+    def callers_of(self, name: str) -> int:
+        """Number of distinct call sites (by caller function) observed."""
+        return sum(1 for (_, callee) in self.call_edges if callee == name)
+
+    def report(self) -> str:
+        lines = [f"{'function':<28} {'calls':>8} {'cycles':>12} {'share':>8}"]
+        for prof in sorted(
+            self.profiles.values(), key=lambda p: -p.cycles
+        ):
+            share = self.time_fraction(prof.name)
+            lines.append(
+                f"{prof.name:<28} {prof.calls:>8} {prof.cycles:>12} {share:>7.1%}"
+            )
+        return "\n".join(lines)
+
+
+def profile_run(image: BinaryImage, stdin: bytes = b"", max_steps: int = 5_000_000):
+    """Run ``image`` under the profiler; returns (RunResult, Profiler)."""
+    from .syscalls import OperatingSystem
+
+    os = OperatingSystem(stdin=stdin)
+    emulator = Emulator(image, os=os, max_steps=max_steps)
+    profiler = Profiler(image)
+    profiler.attach(emulator)
+    result = emulator.run()
+    return result, profiler

@@ -1,0 +1,101 @@
+"""Toy operating-system surface behind ``int 0x80``.
+
+Implements the Linux-ish syscall numbers our corpus programs use.  The
+important one for the paper's running example is ``ptrace``: its return
+value depends on whether a debugger is attached, i.e. it is
+*non-deterministic* from the program's point of view — exactly the class
+of code oblivious hashing cannot protect and Parallax can.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import UnsupportedSyscall
+
+SYS_EXIT = 1
+SYS_READ = 3
+SYS_WRITE = 4
+SYS_GETPID = 20
+SYS_PTRACE = 26
+SYS_TIME = 13
+
+PTRACE_TRACEME = 0
+
+#: -1 as an unsigned 32-bit value (syscall error return).
+NEG1 = 0xFFFFFFFF
+
+
+class ExitProgram(Exception):
+    """Raised by the exit syscall to unwind the emulator cleanly."""
+
+    def __init__(self, status: int):
+        super().__init__(f"exit({status})")
+        self.status = status
+
+
+class OperatingSystem:
+    """Process-visible OS state.
+
+    Attributes:
+        stdout: bytes the program wrote to fd 1/2.
+        stdin: remaining input bytes for the read syscall.
+        debugger_attached: makes ``ptrace(PTRACE_TRACEME)`` fail, as it
+            does on a real system when the process is already traced.
+        pid: deterministic process id.
+        clock: deterministic time counter, advanced per query.
+    """
+
+    def __init__(self, stdin: bytes = b"", debugger_attached: bool = False):
+        self.stdout = bytearray()
+        self.stdin = bytearray(stdin)
+        self.debugger_attached = debugger_attached
+        self.pid = 4242
+        self.clock = 1_000_000
+        self.exit_status: Optional[int] = None
+        self.syscall_log = []
+
+    def dispatch(self, emulator) -> int:
+        """Handle ``int 0x80``: eax=number, args in ebx/ecx/edx.
+
+        Returns the value to place in eax.
+        """
+        cpu = emulator.cpu
+        number = cpu.regs[0]
+        ebx, ecx, edx = cpu.regs[3], cpu.regs[1], cpu.regs[2]
+        self.syscall_log.append(number)
+
+        if number == SYS_EXIT:
+            self.exit_status = ebx & 0xFF
+            raise ExitProgram(self.exit_status)
+
+        if number == SYS_WRITE:
+            if ebx not in (1, 2):
+                return NEG1
+            data = emulator.memory.read(ecx, edx)
+            self.stdout += data
+            return edx
+
+        if number == SYS_READ:
+            if ebx != 0:
+                return NEG1
+            chunk = bytes(self.stdin[:edx])
+            del self.stdin[: len(chunk)]
+            if chunk:
+                emulator.memory.write(ecx, chunk)
+            return len(chunk)
+
+        if number == SYS_GETPID:
+            return self.pid
+
+        if number == SYS_PTRACE:
+            # PTRACE_TRACEME fails iff a tracer is already attached.
+            if ebx == PTRACE_TRACEME:
+                return NEG1 if self.debugger_attached else 0
+            return NEG1
+
+        if number == SYS_TIME:
+            self.clock += 1
+            return self.clock
+
+        raise UnsupportedSyscall(f"syscall {number}", eip=cpu.eip)

@@ -1,0 +1,128 @@
+"""Exhaustive gadget discovery over executable sections.
+
+ROP gadgets need not start on instruction boundaries: any byte offset
+whose decode reaches a return within the length bound is a gadget
+(§II-A: "gadgets ... can also be unaligned instruction sequences
+embedded in the normal instruction stream").  The finder therefore scans
+*every* return opcode in executable sections and walks backwards over
+all candidate start offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..binary.image import BinaryImage
+from ..x86.decoder import decode
+from ..x86.errors import DecodeError
+from ..x86.opcodes import (
+    RET_IMM16_OPCODE,
+    RET_OPCODE,
+    RETF_IMM16_OPCODE,
+    RETF_OPCODE,
+)
+from .semantics import classify
+from .types import Gadget
+
+#: Paper §VII-A: "we limited the length of the considered gadgets to six
+#: instructions, as longer gadgets are difficult to use in practical ROP
+#: chains."
+MAX_GADGET_INSNS = 6
+
+#: How far before a return we look for gadget start offsets.  Six
+#: instructions of at most ~7 bytes each is generous at 40.
+MAX_LOOKBACK_BYTES = 40
+
+_NEAR_RETS = (RET_OPCODE, RET_IMM16_OPCODE)
+_FAR_RETS = (RETF_OPCODE, RETF_IMM16_OPCODE)
+
+
+def decode_gadget_at(
+    data: bytes,
+    offset: int,
+    base: int = 0,
+    max_insns: int = MAX_GADGET_INSNS,
+) -> Optional[Gadget]:
+    """Try to decode a gadget starting at ``offset`` in ``data``.
+
+    The decode must reach a return instruction within ``max_insns``
+    instructions; the sequence is then classified.  Returns ``None`` if
+    no valid gadget starts here.
+    """
+    instructions = []
+    pos = offset
+    for _ in range(max_insns):
+        try:
+            insn = decode(data, pos, address=base + pos)
+        except DecodeError:
+            return None
+        instructions.append(insn)
+        pos += insn.length
+        if insn.is_return:
+            return classify(instructions)
+        if insn.is_control_flow:
+            return None
+        if pos > len(data):
+            return None
+    return None
+
+
+def find_gadgets_in_bytes(
+    data: bytes,
+    base: int = 0,
+    max_insns: int = MAX_GADGET_INSNS,
+    include_far: bool = True,
+) -> List[Gadget]:
+    """Find all gadgets in a flat code buffer.
+
+    Scans for return opcodes and tries every start offset within
+    :data:`MAX_LOOKBACK_BYTES` before each; keeps sequences that decode
+    cleanly to the return and classify as gadgets.  One gadget is
+    reported per (start, return) pair — nested suffixes of a long gadget
+    are separate gadgets, as in real gadget finders.
+    """
+    terminators = _NEAR_RETS + (_FAR_RETS if include_far else ())
+    gadgets: List[Gadget] = []
+    seen = set()
+    for ret_pos, byte in enumerate(data):
+        if byte not in terminators:
+            continue
+        lo = max(0, ret_pos - MAX_LOOKBACK_BYTES)
+        for start in range(ret_pos, lo - 1, -1):
+            if start in seen:
+                continue
+            gadget = decode_gadget_at(data, start, base=base, max_insns=max_insns)
+            if gadget is None:
+                continue
+            # Only keep it if this decode actually terminates at ret_pos
+            # (an earlier return could satisfy a longer window).
+            if gadget.end != base + ret_pos + _ret_length(data, ret_pos):
+                continue
+            gadgets.append(gadget)
+            seen.add(start)
+    gadgets.sort(key=lambda g: g.address)
+    return gadgets
+
+
+def _ret_length(data: bytes, ret_pos: int) -> int:
+    """Encoded length of the return instruction at ``ret_pos``."""
+    return 3 if data[ret_pos] in (RET_IMM16_OPCODE, RETF_IMM16_OPCODE) else 1
+
+
+def find_gadgets(
+    image: BinaryImage,
+    max_insns: int = MAX_GADGET_INSNS,
+    include_far: bool = True,
+) -> List[Gadget]:
+    """Find all gadgets in every executable section of ``image``."""
+    gadgets: List[Gadget] = []
+    for section in image.executable_sections():
+        gadgets.extend(
+            find_gadgets_in_bytes(
+                bytes(section.data),
+                base=section.vaddr,
+                max_insns=max_insns,
+                include_far=include_far,
+            )
+        )
+    return gadgets

@@ -1,0 +1,299 @@
+"""Gadget semantic classification.
+
+Given a decoded instruction sequence ending in ``ret``/``retf``, decide
+what operation the gadget implements (its :class:`GadgetKind`) and
+whether the ROP compiler can use it.  Single-instruction gadgets are
+classified syntactically; longer ones run through a small symbolic
+executor that checks the sequence amounts to one clean operation with no
+stray side effects.
+
+A sequence that decodes fine but has unanalyzable or unsafe effects is
+still *a gadget* (kind ``OTHER``) — tampering with it is detectable if a
+chain exercises it — but the compiler will not place it in a chain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..x86.instruction import Instruction
+from ..x86.operands import Imm, Mem
+from ..x86.registers import ESP, Register
+from .types import Gadget, GadgetKind, GadgetOp
+
+_BINOPS = {"add", "sub", "and", "or", "xor", "imul"}
+_SHIFTS = {"shl", "shr", "sar"}
+
+#: Mnemonics that may never appear inside a gadget body: control flow
+#: breaks the chain, privileged/IO instructions fault in user mode, and
+#: frame instructions corrupt the chain cursor.
+_FORBIDDEN = {
+    "call", "jmp", "ret", "retf", "hlt", "int", "int3", "leave",
+    "pushad", "popad", "div", "idiv",
+    "callf", "jmpf", "iretd", "loopne", "loope", "loop", "jecxz",
+    "in", "out", "cli", "sti", "enter", "into", "bound",
+} | {
+    "jo", "jno", "jb", "jae", "je", "jne", "jbe", "ja",
+    "js", "jns", "jp", "jnp", "jl", "jge", "jle", "jg",
+}
+
+
+def _is_esp(op) -> bool:
+    return isinstance(op, Register) and op.name == "esp"
+
+
+def _mem_uses_esp(op) -> bool:
+    return isinstance(op, Mem) and (
+        (op.base is not None and op.base.name == "esp")
+        or (op.index is not None and op.index.name == "esp")
+    )
+
+
+def _classify_single(insn: Instruction) -> Optional[GadgetKind]:
+    """Classify a one-instruction gadget body syntactically."""
+    m = insn.mnemonic
+    ops = insn.operands
+
+    if m == "nop":
+        return GadgetKind(GadgetOp.NOP)
+
+    if m == "pop" and isinstance(ops[0], Register) and ops[0].width == 32:
+        if ops[0].name == "esp":
+            return GadgetKind(GadgetOp.POP_ESP)
+        return GadgetKind(GadgetOp.LOAD_CONST, dst=ops[0])
+
+    if m == "mov":
+        dst, src = ops
+        if _is_esp(dst) and isinstance(src, Register) and src.width == 32:
+            return GadgetKind(GadgetOp.MOV_ESP, src=src)
+        if isinstance(dst, Register) and isinstance(src, Register):
+            if dst.width == src.width == 32 and not _is_esp(dst) and not _is_esp(src):
+                return GadgetKind(GadgetOp.MOV_REG, dst=dst, src=src)
+            if dst.width == src.width == 8:
+                return GadgetKind(
+                    GadgetOp.BYTE_OP, dst=dst.full(), src=src.full(), subop="mov"
+                )
+        if (
+            isinstance(dst, Register)
+            and dst.width == 32
+            and isinstance(src, Mem)
+            and src.width == 32
+            and src.base is not None
+            and src.index is None
+            and not _mem_uses_esp(src)
+        ):
+            return GadgetKind(GadgetOp.LOAD_MEM, dst=dst, src=src.base, disp=src.disp)
+        if (
+            isinstance(dst, Mem)
+            and dst.width == 32
+            and isinstance(src, Register)
+            and src.width == 32
+            and dst.base is not None
+            and dst.index is None
+            and not _mem_uses_esp(dst)
+        ):
+            return GadgetKind(GadgetOp.STORE_MEM, dst=dst.base, src=src, disp=dst.disp)
+        if (
+            isinstance(dst, Mem)
+            and dst.width == 8
+            and dst.base is not None
+            and not _mem_uses_esp(dst)
+        ):
+            return GadgetKind(
+                GadgetOp.BYTE_OP, dst=dst.base, subop="mov_store", disp=dst.disp
+            )
+        return GadgetKind(GadgetOp.OTHER)
+
+    if m == "xchg":
+        a, b = ops
+        if isinstance(a, Register) and isinstance(b, Register) and a.width == b.width == 32:
+            if a.name == "esp":
+                return GadgetKind(GadgetOp.MOV_ESP, src=b, subop="xchg")
+            if b.name == "esp":
+                return GadgetKind(GadgetOp.MOV_ESP, src=a, subop="xchg")
+            return GadgetKind(GadgetOp.OTHER)  # plain reg swap: unused kind
+        return GadgetKind(GadgetOp.OTHER)
+
+    if m in _BINOPS:
+        dst, src = ops[0], ops[1] if len(ops) > 1 else None
+        if (
+            isinstance(dst, Register)
+            and isinstance(src, Register)
+            and dst.width == src.width == 32
+            and not _is_esp(dst)
+            and not _is_esp(src)
+        ):
+            return GadgetKind(GadgetOp.BINOP, dst=dst, src=src, subop=m)
+        if (
+            isinstance(dst, Register)
+            and dst.width == 32
+            and isinstance(src, Mem)
+            and src.width == 32
+            and src.base is not None
+            and src.index is None
+            and not _mem_uses_esp(src)
+            and not _is_esp(dst)
+            and m == "add"
+        ):
+            return GadgetKind(
+                GadgetOp.ADD_FROM_MEM, dst=dst, src=src.base, disp=src.disp
+            )
+        if (
+            isinstance(dst, Mem)
+            and dst.width == 32
+            and isinstance(src, Register)
+            and src.width == 32
+            and dst.base is not None
+            and dst.index is None
+            and not _mem_uses_esp(dst)
+            and m == "add"
+        ):
+            return GadgetKind(GadgetOp.ADD_MEM, dst=dst.base, src=src, disp=dst.disp)
+        if (
+            isinstance(dst, Register)
+            and isinstance(src, Register)
+            and dst.width == src.width == 8
+        ):
+            return GadgetKind(
+                GadgetOp.BYTE_OP, dst=dst.full(), src=src.full(), subop=m
+            )
+        if isinstance(dst, Mem) and dst.width == 8 and dst.base is not None and not _mem_uses_esp(dst):
+            return GadgetKind(GadgetOp.BYTE_OP, dst=dst.base, subop=m + "_store", disp=dst.disp)
+        return GadgetKind(GadgetOp.OTHER)
+
+    if m == "sbb":
+        dst, src = ops
+        if (
+            isinstance(dst, Register)
+            and isinstance(src, Register)
+            and dst is src
+            and dst.width == 32
+        ):
+            return GadgetKind(GadgetOp.SBB_SELF, dst=dst)
+        return GadgetKind(GadgetOp.OTHER)
+
+    if m in _SHIFTS:
+        dst, amount = ops
+        if isinstance(dst, Register) and dst.width == 32 and isinstance(amount, Imm):
+            return GadgetKind(
+                GadgetOp.SHIFT, dst=dst, subop=m, amount=amount.value & 0x1F
+            )
+        if isinstance(dst, Mem) and dst.width == 8 and dst.base is not None and not _mem_uses_esp(dst):
+            # e.g. the paper's "sar byte [ecx+0x7], 0x8b; ret"
+            return GadgetKind(GadgetOp.BYTE_OP, dst=dst.base, subop=m + "_store", disp=dst.disp)
+        return GadgetKind(GadgetOp.OTHER)
+
+    if m == "neg" and isinstance(ops[0], Register) and ops[0].width == 32:
+        return GadgetKind(GadgetOp.NEG, dst=ops[0])
+    if m == "not" and isinstance(ops[0], Register) and ops[0].width == 32:
+        return GadgetKind(GadgetOp.NOT, dst=ops[0])
+    if m == "inc" and isinstance(ops[0], Register) and ops[0].width == 32:
+        return GadgetKind(GadgetOp.INC, dst=ops[0])
+    if m == "dec" and isinstance(ops[0], Register) and ops[0].width == 32:
+        return GadgetKind(GadgetOp.DEC, dst=ops[0])
+
+    return GadgetKind(GadgetOp.OTHER)
+
+
+def _harmless(insn: Instruction) -> bool:
+    """Instructions allowed around a primary op without changing its kind.
+
+    Only true no-ops qualify; flag-setters are fine (chains never carry
+    flags across arbitrary padding — the compiler sequences flag tricks
+    tightly).
+    """
+    if insn.mnemonic == "nop":
+        return True
+    if insn.mnemonic in ("test", "cmp"):
+        # Reads only; memory operands might fault on garbage pointers, so
+        # only register forms are harmless.
+        return all(isinstance(op, (Register, Imm)) for op in insn.operands)
+    return False
+
+
+def classify(instructions: List[Instruction]) -> Optional[Gadget]:
+    """Classify an instruction sequence as a gadget.
+
+    Args:
+        instructions: decoded sequence whose last element must be a
+            return; earlier elements form the body.
+
+    Returns:
+        A :class:`Gadget` (kind may be ``OTHER``), or ``None`` when the
+        sequence cannot be a gadget at all (control flow in the body,
+        esp corruption, or an empty sequence).
+    """
+    if not instructions or not instructions[-1].is_return:
+        return None
+    body = list(instructions[:-1])
+    terminator = instructions[-1]
+
+    # Special case: [int 0x80; ret] is the syscall gadget.
+    if (
+        len(body) == 1
+        and body[0].mnemonic == "int"
+        and body[0].operands[0].value == 0x80
+    ):
+        return Gadget(
+            address=instructions[0].address or 0,
+            instructions=tuple(instructions),
+            kind=GadgetKind(GadgetOp.SYSCALL),
+            far=terminator.mnemonic == "retf",
+            ret_imm=terminator.operands[0].value if terminator.operands else 0,
+        )
+
+    stack_words = 0
+    for insn in body:
+        if insn.mnemonic in _FORBIDDEN:
+            return None
+        # Writing esp mid-gadget (other than pop esp, the pivot kind)
+        # makes behaviour depend on the chain layout; reject outright
+        # except for the dedicated kinds handled below.
+        if insn.mnemonic in ("pop", "popfd"):
+            stack_words += 1
+        elif insn.mnemonic == "push":
+            # push rewrites chain memory behind the cursor; valid gadget
+            # but never compiler-usable.
+            pass
+        elif any(_is_esp(op) for op in insn.operands) and not (
+            insn.mnemonic in ("mov", "xchg")
+        ):
+            return None
+        if _mem_uses_esp(insn.operands[0] if insn.operands else None):
+            return None
+
+    address = instructions[0].address if instructions[0].address is not None else 0
+    far = terminator.mnemonic == "retf"
+    ret_imm = terminator.operands[0].value if terminator.operands else 0
+
+    def gadget(kind: GadgetKind) -> Gadget:
+        return Gadget(
+            address=address,
+            instructions=tuple(instructions),
+            kind=kind,
+            stack_words=stack_words,
+            far=far,
+            ret_imm=ret_imm,
+        )
+
+    if not body:
+        return gadget(GadgetKind(GadgetOp.NOP))
+
+    # Strip harmless padding, then classify what remains.
+    core = [i for i in body if not _harmless(i)]
+    if not core:
+        return gadget(GadgetKind(GadgetOp.NOP))
+    if len(core) == 1:
+        kind = _classify_single(core[0])
+        if kind is None:
+            return None
+        if any(i.mnemonic == "push" for i in body):
+            kind = GadgetKind(GadgetOp.OTHER)
+        return gadget(kind)
+
+    # Multi-op bodies: usable only when the ops are independent clean
+    # operations on disjoint destinations (rare); otherwise OTHER.
+    kinds = [_classify_single(i) for i in core]
+    if any(k is None for k in kinds):
+        return None
+    return gadget(GadgetKind(GadgetOp.OTHER))

@@ -1,0 +1,194 @@
+"""Gadget kinds — the paper's "gadget mapping" vocabulary.
+
+§III: "Parallax creates a gadget mapping which categorizes the available
+gadgets in the binary into a set of types; for instance, memory stores
+and register moves."  §V-B extends the notion: a type names not only the
+operation but also its operand registers — that extended notion is what
+:class:`GadgetKind` encodes, and it is what makes probabilistic chain
+generation (choosing among semantic equivalents) possible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..x86.instruction import Instruction
+from ..x86.registers import Register
+
+
+class GadgetOp:
+    """Operation names a gadget can implement."""
+
+    LOAD_CONST = "load_const"   # pop R; ret
+    MOV_REG = "mov_reg"         # mov Rd, Rs; ret
+    BINOP = "binop"             # add/sub/and/or/xor/imul Rd, Rs; ret
+    LOAD_MEM = "load_mem"       # mov Rd, [Rs+disp]; ret
+    STORE_MEM = "store_mem"     # mov [Rd+disp], Rs; ret
+    ADD_MEM = "add_mem"         # add [Rd+disp], Rs; ret  (§IV-B6 store)
+    ADD_FROM_MEM = "add_from_mem"  # add Rd, [Rs+disp]; ret
+    NEG = "neg"                 # neg R; ret
+    NOT = "not"                 # not R; ret
+    INC = "inc"                 # inc R; ret
+    DEC = "dec"                 # dec R; ret
+    SHIFT = "shift"             # shl/shr/sar R, imm; ret
+    SBB_SELF = "sbb_self"       # sbb R, R; ret (CF materialization)
+    MOV_ESP = "mov_esp"         # mov esp, R / xchg R, esp; ret (chain branch)
+    POP_ESP = "pop_esp"         # pop esp; ret (chain pivot)
+    SYSCALL = "syscall"         # int 0x80; ret
+    NOP = "nop"                 # ret (and harmless padding)
+    BYTE_OP = "byte_op"         # classifiable 8-bit operation
+    OTHER = "other"             # valid but not usable by the compiler
+
+
+#: Kinds the ROP compiler can consume directly.
+COMPILER_USABLE = frozenset(
+    {
+        GadgetOp.LOAD_CONST,
+        GadgetOp.MOV_REG,
+        GadgetOp.BINOP,
+        GadgetOp.LOAD_MEM,
+        GadgetOp.STORE_MEM,
+        GadgetOp.ADD_MEM,
+        GadgetOp.ADD_FROM_MEM,
+        GadgetOp.NEG,
+        GadgetOp.NOT,
+        GadgetOp.INC,
+        GadgetOp.DEC,
+        GadgetOp.SHIFT,
+        GadgetOp.SBB_SELF,
+        GadgetOp.MOV_ESP,
+        GadgetOp.POP_ESP,
+        GadgetOp.SYSCALL,
+        GadgetOp.NOP,
+    }
+)
+
+
+class GadgetKind:
+    """Extended gadget type: operation + operand registers + parameters.
+
+    ``subop`` distinguishes binop flavours (``"add"``, ``"xor"``...) and
+    shift directions; ``disp`` is the fixed displacement of memory kinds;
+    ``amount`` is the constant shift count.
+    """
+
+    __slots__ = ("op", "dst", "src", "subop", "disp", "amount")
+
+    def __init__(
+        self,
+        op: str,
+        dst: Optional[Register] = None,
+        src: Optional[Register] = None,
+        subop: Optional[str] = None,
+        disp: int = 0,
+        amount: Optional[int] = None,
+    ):
+        self.op = op
+        self.dst = dst
+        self.src = src
+        self.subop = subop
+        self.disp = disp
+        self.amount = amount
+
+    def key(self) -> tuple:
+        return (
+            self.op,
+            self.dst.name if self.dst else None,
+            self.src.name if self.src else None,
+            self.subop,
+            self.disp,
+            self.amount,
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GadgetKind) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.subop:
+            parts.append(self.subop)
+        if self.dst is not None:
+            parts.append(f"dst={self.dst.name}")
+        if self.src is not None:
+            parts.append(f"src={self.src.name}")
+        if self.disp:
+            parts.append(f"disp={self.disp:#x}")
+        if self.amount is not None:
+            parts.append(f"amount={self.amount}")
+        return f"<Kind {' '.join(parts)}>"
+
+
+class Gadget:
+    """A located gadget: address, bytes, decoded instructions, semantics.
+
+    Attributes:
+        address: virtual address of the first instruction.
+        instructions: decoded sequence, terminator included.
+        kind: classified :class:`GadgetKind` (op may be OTHER).
+        stack_words: words the gadget consumes from the stack *before*
+            its terminating return pops the next gadget address (one per
+            pop; the compiler must lay chain data out accordingly).
+        far: terminator is ``retf`` — its return pops an extra
+            code-segment word the chain must supply.
+        ret_imm: stack adjustment of a ``ret imm16`` terminator.
+        synthetic: True when the gadget only exists after a rewriting
+            rule is applied (candidate, not yet present in the bytes).
+    """
+
+    __slots__ = (
+        "address",
+        "instructions",
+        "kind",
+        "stack_words",
+        "far",
+        "ret_imm",
+        "synthetic",
+        "provenance",
+    )
+
+    def __init__(
+        self,
+        address: int,
+        instructions: Tuple[Instruction, ...],
+        kind: GadgetKind,
+        stack_words: int = 0,
+        far: bool = False,
+        ret_imm: int = 0,
+        synthetic: bool = False,
+        provenance: str = "existing",
+    ):
+        self.address = address
+        self.instructions = tuple(instructions)
+        self.kind = kind
+        self.stack_words = stack_words
+        self.far = far
+        self.ret_imm = ret_imm
+        self.synthetic = synthetic
+        self.provenance = provenance
+
+    @property
+    def length(self) -> int:
+        """Total byte length of the gadget."""
+        return sum(i.length for i in self.instructions)
+
+    @property
+    def end(self) -> int:
+        return self.address + self.length
+
+    @property
+    def usable(self) -> bool:
+        """Can the ROP compiler emit this gadget into a chain?"""
+        return self.kind.op in COMPILER_USABLE
+
+    def span(self) -> range:
+        """Code byte addresses this gadget covers (protects)."""
+        return range(self.address, self.end)
+
+    def text(self) -> str:
+        return "; ".join(i.text() for i in self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<Gadget @{self.address:#x} [{self.text()}] {self.kind!r}>"

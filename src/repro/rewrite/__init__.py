@@ -1,0 +1,35 @@
+"""Binary rewriting: the §IV-B rules, coverage measurement, application."""
+
+from .apply import ImmediateSplitter, plant_ret_byte, plant_ret_byte_add
+from .engine import AnalysisResult, RewriteEngine
+from .report import (
+    FIG6_RULES,
+    ProtectabilityReport,
+    RULE_ANY,
+    RULE_FAR,
+    RULE_IMM,
+    RULE_JUMP,
+    RULE_NEAR,
+    RuleCoverage,
+    format_fig6_table,
+)
+from .rules import (
+    ExistingGadgetRule,
+    FarReturnRule,
+    ImmediateCandidate,
+    ImmediateModificationRule,
+    JumpCandidate,
+    JumpOffsetRule,
+    SpuriousInstructionRule,
+)
+
+__all__ = [
+    "ImmediateSplitter", "plant_ret_byte", "plant_ret_byte_add",
+    "AnalysisResult", "RewriteEngine",
+    "FIG6_RULES", "ProtectabilityReport", "RuleCoverage",
+    "RULE_ANY", "RULE_FAR", "RULE_IMM", "RULE_JUMP", "RULE_NEAR",
+    "format_fig6_table",
+    "ExistingGadgetRule", "FarReturnRule",
+    "ImmediateCandidate", "ImmediateModificationRule",
+    "JumpCandidate", "JumpOffsetRule", "SpuriousInstructionRule",
+]

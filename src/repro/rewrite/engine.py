@@ -1,0 +1,113 @@
+"""The rewriting engine: run every rule, build reports and gadget pools.
+
+§VII-A: "it is not necessarily possible to protect all potentially
+protectable code bytes at once, since the required modifications may
+conflict" — the engine detects such conflicts when asked to select an
+applicable subset (two candidates conflict when their byte patches
+overlap or when they modify the same instruction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..binary.image import BinaryImage
+from ..gadgets.catalog import GadgetCatalog
+from .report import ProtectabilityReport, RULE_IMM, RULE_JUMP
+from .rules import (
+    ExistingGadgetRule,
+    FarReturnRule,
+    ImmediateModificationRule,
+    JumpOffsetRule,
+)
+
+
+class AnalysisResult:
+    """Everything the rules found for one image."""
+
+    def __init__(self, image: BinaryImage, report: ProtectabilityReport):
+        self.image = image
+        self.report = report
+        self.existing_gadgets: List = []
+        self.far_gadgets: List = []
+        self.immediate_candidates: List = []
+        self.jump_candidates: List = []
+
+    def catalog(self) -> GadgetCatalog:
+        """Catalog of gadgets present in the binary *right now*
+        (existing near/far; candidates are not yet real)."""
+        return GadgetCatalog(self.existing_gadgets + self.far_gadgets)
+
+    def protectable_fraction(self) -> float:
+        return self.report.percent_any() / 100.0
+
+
+class RewriteEngine:
+    """Runs the §IV-B rule set over a binary image."""
+
+    def __init__(self, max_gadget_insns: int = 6):
+        self.rule_near = ExistingGadgetRule(max_gadget_insns)
+        self.rule_far = FarReturnRule(max_gadget_insns)
+        self.rule_imm = ImmediateModificationRule(max_gadget_insns)
+        self.rule_jump = JumpOffsetRule(max_gadget_insns)
+
+    def analyze(self, image: BinaryImage) -> AnalysisResult:
+        """Measure protectability (the Fig. 6 computation)."""
+        report = ProtectabilityReport(image.name, image.code_bytes())
+        result = AnalysisResult(image, report)
+        result.existing_gadgets = self.rule_near.measure(image, report)
+        result.far_gadgets = self.rule_far.measure(image, report)
+        result.immediate_candidates = self.rule_imm.measure(image, report)
+        result.jump_candidates = self.rule_jump.measure(image, report)
+        return result
+
+    # ------------------------------------------------------------------
+    # Conflict-aware selection (for application)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def select_non_conflicting(candidates: List) -> List:
+        """Greedy maximal subset of candidates with disjoint patches.
+
+        Candidates are ranked by gadget length (longer = more protected
+        bytes per modification).
+        """
+        chosen: List = []
+        taken_bytes: set = set()
+        for candidate in sorted(
+            candidates, key=lambda c: -c.gadget.length
+        ):
+            addr = candidate.patch_addr
+            insn_span = range(
+                candidate.insn.address, candidate.insn.address + candidate.insn.length
+            )
+            if addr in taken_bytes or any(b in taken_bytes for b in insn_span):
+                continue
+            chosen.append(candidate)
+            taken_bytes.update(insn_span)
+        return chosen
+
+    def protect_instructions(
+        self, image: BinaryImage, addresses: List[int]
+    ) -> Dict[int, object]:
+        """Map each requested instruction address to the candidate or
+        existing gadget that would protect it, if any.
+
+        This is the "walk through the list of instructions selected for
+        protection" step of §III.
+        """
+        result = self.analyze(image)
+        protection: Dict[int, object] = {}
+        pools = (
+            result.existing_gadgets
+            + result.far_gadgets
+            + [c.gadget for c in result.immediate_candidates]
+            + [c.gadget for c in result.jump_candidates]
+        )
+        for addr in addresses:
+            for gadget in pools:
+                if addr in gadget.span():
+                    best = protection.get(addr)
+                    if best is None or gadget.length > best.length:
+                        protection[addr] = gadget
+        return protection

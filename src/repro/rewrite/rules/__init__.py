@@ -1,0 +1,16 @@
+"""The binary rewriting rules of §IV-B, one module per rule family."""
+
+from .existing import ExistingGadgetRule, FarReturnRule
+from .immediates import ImmediateCandidate, ImmediateModificationRule
+from .jumps import JumpCandidate, JumpOffsetRule
+from .spurious import SpuriousInstructionRule
+
+__all__ = [
+    "ExistingGadgetRule",
+    "FarReturnRule",
+    "ImmediateCandidate",
+    "ImmediateModificationRule",
+    "JumpCandidate",
+    "JumpOffsetRule",
+    "SpuriousInstructionRule",
+]

@@ -1,0 +1,40 @@
+"""Rule 4: spurious instructions (§IV-B4).
+
+Gadget fragments can always be inserted as extra instructions whose
+side effects do not change program semantics — at the cost of a small
+slowdown in the protected code itself, which is why the rule is a last
+resort (and why the paper's Fig. 6 shows no numbers for it: it covers
+100% by construction).
+
+Our concrete embodiment is the standard-gadget-set insertion
+(:func:`repro.ropc.standard.emit_standard_gadgets`): whole gadgets
+placed in a fresh executable section, reachable only via the chain (the
+degenerate case of spurious instructions placed out of line, with zero
+runtime cost to the protected code).  For *inline* spurious insertion,
+:meth:`plan_inline` computes the bytes to weave into a function —
+applied through IR recompilation like the immediate rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...gadgets.types import GadgetKind
+from ...ropc.standard import emit_standard_gadgets
+
+
+class SpuriousInstructionRule:
+    """Plans insertion of gadget-bearing spurious instructions."""
+
+    name = "spurious"
+
+    def plan_out_of_line(
+        self, kinds: List[GadgetKind], base: int
+    ) -> Tuple[bytes, list]:
+        """Standard-set emission: bytes + classified gadget records."""
+        return emit_standard_gadgets(kinds, base)
+
+    @staticmethod
+    def coverage_percent() -> float:
+        """The rule applies everywhere — by definition (§IV-B4)."""
+        return 100.0

@@ -1,0 +1,328 @@
+"""ROP backend: translate an IR function into a verification chain.
+
+This plays the role of the modified ROPC compiler in the paper's
+prototype.  Straight-line operations map to typed gadgets; control flow
+is implemented by *stack pivoting*: computing the next chain address
+into a register and moving it into esp (conditionals select between two
+chain addresses branch-free with the classic ``neg``/``sbb``/mask
+trick, so no flag state needs to survive across unrelated gadgets).
+
+Calling convention glue (reading arguments from the protected
+function's original stack frame, delivering the return value through
+the saved-register block, and resuming native execution) is described
+in :mod:`repro.core.stubs`, which emits the matching loader stub.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..gadgets.types import GadgetKind, GadgetOp
+from ..x86.registers import EAX, EBP, Register
+from . import ir
+from .chain import RopChain
+
+#: Byte offset of the saved-eax slot inside the pushad block.
+PUSHAD_EAX_OFFSET = 28
+#: Offset of argument ``i`` from the saved (post-pushad) stack pointer:
+#: 32 bytes of pushad block + 4 bytes of return address.
+ARG_BASE_OFFSET = 36
+
+
+class RopCompileError(Exception):
+    pass
+
+
+class RopCompiler:
+    """Compiles IR functions to placeholder chains (kinds, not addresses).
+
+    Args:
+        frame_cell: address of the cell the loader stub stores the
+            post-pushad stack pointer into.
+        resume_cell: address of the cell holding the pivot-back esp.
+        scratch: two registers the chain may clobber that the function
+            does not use; ``ebp`` plus one free IR register by default.
+    """
+
+    def __init__(
+        self,
+        frame_cell: int,
+        resume_cell: int,
+        scratch: Optional[Sequence[Register]] = None,
+    ):
+        self.frame_cell = frame_cell
+        self.resume_cell = resume_cell
+        self._scratch_override = tuple(scratch) if scratch else None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def compile(self, function: ir.IRFunction) -> RopChain:
+        function.validate()
+        if not function.is_leaf:
+            raise RopCompileError(
+                f"{function.name}: only leaf functions can become chains"
+            )
+        scratch = self._pick_scratch(function)
+        chain = RopChain(name=f"rop_{function.name}")
+        chain.frame_cell = self.frame_cell
+        chain.resume_cell = self.resume_cell
+        emitter = _Emitter(self, chain, scratch)
+        for op in function.body:
+            emitter.emit(op)
+        return chain
+
+    def _pick_scratch(self, function: ir.IRFunction):
+        if self._scratch_override is not None:
+            return self._scratch_override
+        used = set()
+        for op in function.body:
+            used.update(r.name for r in op.regs_used())
+        free = [r for r in ir.IR_REGS if r.name not in used and r is not EAX]
+        scratch = [EBP] + free
+        if len(scratch) < 2:
+            raise RopCompileError(
+                f"{function.name}: needs a free register for chain scratch "
+                f"(uses {sorted(used)})"
+            )
+        return tuple(scratch[:2])
+
+
+class _Emitter:
+    """Per-function emission state."""
+
+    def __init__(self, compiler: RopCompiler, chain: RopChain, scratch):
+        self.c = compiler
+        self.chain = chain
+        self.s1, self.s2 = scratch
+
+    # -- kind helpers ----------------------------------------------------
+
+    def _load_const(self, reg: Register, value_or_label) -> None:
+        self.chain.gadget(GadgetKind(GadgetOp.LOAD_CONST, dst=reg))
+        if isinstance(value_or_label, str):
+            self.chain.label_ref(value_or_label)
+        elif isinstance(value_or_label, _DeltaRef):
+            self.chain.delta_ref(value_or_label.target, value_or_label.fall)
+        else:
+            self.chain.const(value_or_label)
+
+    def _mov(self, dst: Register, src: Register) -> None:
+        if dst is src:
+            return
+        self.chain.gadget(GadgetKind(GadgetOp.MOV_REG, dst=dst, src=src))
+
+    def _binop(self, op: str, dst: Register, src: Register) -> None:
+        subop = "imul" if op == "mul" else op
+        self.chain.gadget(GadgetKind(GadgetOp.BINOP, dst=dst, src=src, subop=subop))
+
+    def _load_mem(self, dst: Register, base: Register, disp: int = 0) -> None:
+        self.chain.gadget(GadgetKind(GadgetOp.LOAD_MEM, dst=dst, src=base, disp=disp))
+
+    def _store_mem(self, base: Register, src: Register, disp: int = 0) -> None:
+        self.chain.gadget(GadgetKind(GadgetOp.STORE_MEM, dst=base, src=src, disp=disp))
+
+    def _unop(self, op: str, dst: Register) -> None:
+        self.chain.gadget(GadgetKind(op, dst=dst))
+
+    def _shift(self, op: str, dst: Register, amount: int) -> None:
+        self.chain.gadget(GadgetKind(GadgetOp.SHIFT, dst=dst, subop=op, amount=amount))
+
+    def _pivot_to_reg(self, reg: Register) -> None:
+        """esp = reg; execution continues at the chain word it names."""
+        self.chain.gadget(GadgetKind(GadgetOp.MOV_ESP, src=reg))
+
+    # -- frame access ----------------------------------------------------
+
+    def _load_saved_frame(self, dst: Register) -> None:
+        """dst = the protected function's post-pushad stack pointer."""
+        self._load_const(dst, self.c.frame_cell)
+        self._load_mem(dst, dst, 0)
+
+    # -- condition masks --------------------------------------------------
+
+    def _mask_into_s1(self, cond: str, a: Register, b) -> None:
+        """s1 = all-ones iff (a cond b) else zero.
+
+        Flag-dependent steps (neg/sbb, sub/sbb) are emitted back to
+        back; the only instructions executed between two consecutive
+        gadgets are ret (and chain pops), neither of which touches
+        flags, so the carry survives.
+        """
+        s1, s2 = self.s1, self.s2
+        if b is s1 or b is s2 or a is s1 or a is s2:
+            raise RopCompileError("condition operands may not be scratch")
+
+        if cond in ("eq", "ne", "ult", "uge"):
+            if isinstance(b, int):
+                self._load_const(s2, b)
+                b = s2
+            self._mov(s1, a)
+            self._binop("sub", s1, b)
+            if cond in ("eq", "ne"):
+                self._unop(GadgetOp.NEG, s1)  # CF = (s1 != 0)
+            # for ult/uge the sub already left CF = (a < b) unsigned
+            self._sbb_self(s1)                # s1 = -CF
+            if cond in ("eq", "uge"):
+                self._unop(GadgetOp.NOT, s1)
+        elif cond in ("lt", "ge", "gt", "le"):
+            # Signed comparison via the bias trick, overflow-free:
+            # lt(a, b) == ult(a ^ 0x80000000, b ^ 0x80000000).
+            bias = 0x80000000
+            lhs, rhs = (a, b) if cond in ("lt", "ge") else (b, a)
+            if isinstance(lhs, int):
+                self._load_const(s1, lhs ^ bias)
+            else:
+                self._mov(s1, lhs)
+                self._load_const(s2, bias)
+                self._binop("xor", s1, s2)
+            if isinstance(rhs, int):
+                self._load_const(s2, rhs ^ bias)
+            else:
+                self._load_const(s2, bias)
+                self._binop("xor", s2, rhs)
+            self._binop("sub", s1, s2)        # CF = signed lhs < rhs
+            self._sbb_self(s1)                # mask
+            if cond in ("ge", "le"):
+                self._unop(GadgetOp.NOT, s1)
+        else:
+            raise RopCompileError(f"unsupported condition {cond!r}")
+
+    def _sbb_self(self, reg: Register) -> None:
+        self.chain.gadget(GadgetKind(GadgetOp.SBB_SELF, dst=reg))
+
+    # -- op emission -------------------------------------------------------
+
+    def emit(self, op: ir.Op) -> None:
+        chain = self.chain
+        s1, s2 = self.s1, self.s2
+
+        if isinstance(op, ir.Label):
+            chain.label(op.name)
+        elif isinstance(op, ir.Const):
+            self._load_const(op.dst, op.value)
+        elif isinstance(op, ir.AddConst):
+            if op.dst is s1:
+                raise RopCompileError("AddConst destination collides with scratch")
+            self._load_const(s1, op.value)
+            self._binop("add", op.dst, s1)
+        elif isinstance(op, ir.Mov):
+            self._mov(op.dst, op.src)
+        elif isinstance(op, ir.BinOp):
+            self._binop(op.op, op.dst, op.src)
+        elif isinstance(op, ir.Neg):
+            self._unop(GadgetOp.NEG, op.dst)
+        elif isinstance(op, ir.Not):
+            self._unop(GadgetOp.NOT, op.dst)
+        elif isinstance(op, ir.Shift):
+            self._shift(op.op, op.dst, op.amount)
+        elif isinstance(op, ir.Load):
+            self._load_mem(op.dst, op.base, op.disp)
+        elif isinstance(op, ir.Store):
+            self._store_mem(op.base, op.src, op.disp)
+        elif isinstance(op, (ir.Load8, ir.Store8)):
+            raise RopCompileError(
+                "byte memory ops are not chain-translatable; pick a "
+                "word-oriented verification function"
+            )
+        elif isinstance(op, ir.Param):
+            if op.dst is s1 or op.dst is s2:
+                raise RopCompileError("param destination collides with scratch")
+            self._load_saved_frame(op.dst)
+            self._load_const(s1, ARG_BASE_OFFSET + 4 * op.index)
+            self._binop("add", op.dst, s1)
+            self._load_mem(op.dst, op.dst, 0)
+        elif isinstance(op, ir.Syscall):
+            chain.gadget(GadgetKind(GadgetOp.SYSCALL))
+        elif isinstance(op, ir.Jump):
+            chain.gadget(GadgetKind(GadgetOp.POP_ESP))
+            chain.label_ref(op.target)
+        elif isinstance(op, ir.Branch):
+            self._emit_branch(op)
+        elif isinstance(op, ir.Ret):
+            self._emit_ret(op)
+        else:
+            raise RopCompileError(f"cannot translate {op!r}")
+
+    def _emit_branch(self, op: ir.Branch) -> None:
+        chain, s1, s2 = self.chain, self.s1, self.s2
+        self._mask_into_s1(op.cond, op.a, op.b)
+        # s2 = (target - fallthrough) & mask; s1 = fallthrough + s2
+        fall = chain.fresh_label()
+        self._load_const(s2, _DeltaRef(op.target, fall))
+        self._binop("and", s2, s1)
+        self._load_const(s1, fall)
+        self._binop("add", s1, s2)
+        self._pivot_to_reg(s1)
+        chain.label(fall)
+
+    def _emit_ret(self, op: ir.Ret) -> None:
+        s1, s2 = self.s1, self.s2
+        result = op.src if op.src is not None else EAX
+        if result is s1 or result is s2:
+            raise RopCompileError("return value register collides with scratch")
+        # Store the result into the pushad block's eax slot so the
+        # stub's popad delivers it to the caller.
+        self._load_saved_frame(s1)
+        self._load_const(s2, PUSHAD_EAX_OFFSET)
+        self._binop("add", s1, s2)
+        self._store_mem(s1, result, 0)
+        # Pivot back: esp = [resume_cell]; the word there is the address
+        # of the stub's resume sequence (popad; ret).
+        self._load_const(s1, self.c.resume_cell)
+        self._load_mem(s1, s1, 0)
+        self._pivot_to_reg(s1)
+
+
+class _DeltaRef:
+    """Placeholder for (target_label_addr - fallthrough_label_addr)."""
+
+    def __init__(self, target: str, fall: str):
+        self.target = target
+        self.fall = fall
+
+
+def compile_single_op(
+    op: ir.Op,
+    resume_cell: int,
+    scratch: Register,
+) -> RopChain:
+    """Compile one data-flow IR op into a standalone µ-chain (§V-C).
+
+    The chain performs the op on the *live* register state (no
+    pushad/popad — state must flow between µ-chains through the real
+    registers) and pivots back through ``resume_cell``, which the inline
+    setup code points at a slot holding the resume address.  ``scratch``
+    is the one register the chain may clobber.
+    """
+    chain = RopChain(name=f"uchain_{type(op).__name__.lower()}")
+    chain.resume_cell = resume_cell
+    emitter = _Emitter(
+        _SingleOpContext(resume_cell), chain, (scratch, scratch)
+    )
+
+    if isinstance(
+        op,
+        (ir.Const, ir.Mov, ir.BinOp, ir.AddConst, ir.Neg, ir.Not,
+         ir.Shift, ir.Load, ir.Store),
+    ):
+        if isinstance(op, ir.AddConst) and op.dst is scratch:
+            raise RopCompileError("AddConst µ-chain needs a distinct scratch")
+        emitter.emit(op)
+    else:
+        raise RopCompileError(f"{op!r} is not µ-chain translatable")
+
+    # epilogue: esp = [resume_cell]; ret pops the resume address
+    emitter._load_const(scratch, resume_cell)
+    emitter._load_mem(scratch, scratch, 0)
+    emitter._pivot_to_reg(scratch)
+    return chain
+
+
+class _SingleOpContext:
+    """Minimal compiler-context stand-in for µ-chain emission."""
+
+    def __init__(self, resume_cell: int):
+        self.frame_cell = 0
+        self.resume_cell = resume_cell

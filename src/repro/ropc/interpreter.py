@@ -1,0 +1,199 @@
+"""Reference IR interpreter.
+
+Executes IR functions directly over a byte-addressed memory, providing
+the ground-truth semantics both backends must match.  Tests compare
+native-backend and ROP-backend runs against this interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..x86.registers import EAX, Register
+from . import ir
+
+MASK32 = 0xFFFFFFFF
+
+
+class InterpreterError(Exception):
+    pass
+
+
+class IRMemory:
+    """Flat sparse byte memory for the interpreter."""
+
+    def __init__(self):
+        self._bytes: Dict[int, int] = {}
+
+    def read8(self, addr: int) -> int:
+        return self._bytes.get(addr & MASK32, 0)
+
+    def write8(self, addr: int, value: int) -> None:
+        self._bytes[addr & MASK32] = value & 0xFF
+
+    def read32(self, addr: int) -> int:
+        return (
+            self.read8(addr)
+            | (self.read8(addr + 1) << 8)
+            | (self.read8(addr + 2) << 16)
+            | (self.read8(addr + 3) << 24)
+        )
+
+    def write32(self, addr: int, value: int) -> None:
+        for i in range(4):
+            self.write8(addr + i, (value >> (8 * i)) & 0xFF)
+
+    def load_blob(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.write8(addr + i, byte)
+
+    def read_blob(self, addr: int, length: int) -> bytes:
+        return bytes(self.read8(addr + i) for i in range(length))
+
+
+def _signed(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _condition(cond: str, a: int, b: int) -> bool:
+    if cond == "eq":
+        return a == b
+    if cond == "ne":
+        return a != b
+    if cond == "ult":
+        return a < b
+    if cond == "uge":
+        return a >= b
+    sa, sb = _signed(a), _signed(b)
+    if cond == "lt":
+        return sa < sb
+    if cond == "le":
+        return sa <= sb
+    if cond == "gt":
+        return sa > sb
+    if cond == "ge":
+        return sa >= sb
+    raise InterpreterError(f"bad condition {cond!r}")
+
+
+class Interpreter:
+    """Executes IR functions.
+
+    Args:
+        functions: name -> IRFunction map (for Call resolution).
+        memory: shared :class:`IRMemory`.
+        syscall_handler: callable(regs_dict) -> eax value, invoked on
+            Syscall ops; defaults to raising.
+    """
+
+    def __init__(
+        self,
+        functions: Optional[Dict[str, ir.IRFunction]] = None,
+        memory: Optional[IRMemory] = None,
+        syscall_handler: Optional[Callable] = None,
+        max_ops: int = 1_000_000,
+    ):
+        self.functions = functions or {}
+        self.memory = memory if memory is not None else IRMemory()
+        self.syscall_handler = syscall_handler
+        self.max_ops = max_ops
+        self.ops_executed = 0
+
+    def run(self, function: ir.IRFunction, args: List[int] = ()) -> int:
+        """Execute ``function``; returns the value of eax at Ret."""
+        regs: Dict[str, int] = {r.name: 0 for r in ir.IR_REGS}
+        labels = function.labels()
+        pc = 0
+        body = function.body
+
+        while pc < len(body):
+            self.ops_executed += 1
+            if self.ops_executed > self.max_ops:
+                raise InterpreterError("op budget exhausted (infinite loop?)")
+            op = body[pc]
+            pc += 1
+
+            if isinstance(op, ir.Label):
+                continue
+            if isinstance(op, ir.Const):
+                regs[op.dst.name] = op.value
+            elif isinstance(op, ir.AddConst):
+                regs[op.dst.name] = (regs[op.dst.name] + op.value) & MASK32
+            elif isinstance(op, ir.OHUpdate):
+                self.memory.write32(
+                    op.cell,
+                    (self.memory.read32(op.cell) + regs[op.src.name]) & MASK32,
+                )
+            elif isinstance(op, ir.OHMark):
+                self.memory.write32(
+                    op.cell, (self.memory.read32(op.cell) + op.value) & MASK32
+                )
+            elif isinstance(op, ir.Mov):
+                regs[op.dst.name] = regs[op.src.name]
+            elif isinstance(op, ir.BinOp):
+                a, b = regs[op.dst.name], regs[op.src.name]
+                if op.op == "add":
+                    regs[op.dst.name] = (a + b) & MASK32
+                elif op.op == "sub":
+                    regs[op.dst.name] = (a - b) & MASK32
+                elif op.op == "and":
+                    regs[op.dst.name] = a & b
+                elif op.op == "or":
+                    regs[op.dst.name] = a | b
+                elif op.op == "xor":
+                    regs[op.dst.name] = a ^ b
+                elif op.op == "mul":
+                    regs[op.dst.name] = (a * b) & MASK32
+            elif isinstance(op, ir.Neg):
+                regs[op.dst.name] = (-regs[op.dst.name]) & MASK32
+            elif isinstance(op, ir.Not):
+                regs[op.dst.name] = (~regs[op.dst.name]) & MASK32
+            elif isinstance(op, ir.Shift):
+                value = regs[op.dst.name]
+                if op.op == "shl":
+                    regs[op.dst.name] = (value << op.amount) & MASK32
+                elif op.op == "shr":
+                    regs[op.dst.name] = value >> op.amount
+                else:  # sar
+                    regs[op.dst.name] = (_signed(value) >> op.amount) & MASK32
+            elif isinstance(op, ir.Load):
+                regs[op.dst.name] = self.memory.read32(regs[op.base.name] + op.disp)
+            elif isinstance(op, ir.Store):
+                self.memory.write32(regs[op.base.name] + op.disp, regs[op.src.name])
+            elif isinstance(op, ir.Load8):
+                regs[op.dst.name] = self.memory.read8(regs[op.base.name] + op.disp)
+            elif isinstance(op, ir.Store8):
+                self.memory.write8(regs[op.base.name] + op.disp, regs[op.src.name])
+            elif isinstance(op, ir.Param):
+                regs[op.dst.name] = args[op.index] & MASK32
+            elif isinstance(op, ir.Call):
+                callee = self.functions.get(op.callee)
+                if callee is None:
+                    raise InterpreterError(f"unknown function {op.callee!r}")
+                result = self.run(callee, [regs[r.name] for r in op.args])
+                # eax/ecx/edx are caller-clobbered in the native ABI; the
+                # interpreter zeroes ecx/edx to catch IR that wrongly
+                # relies on them surviving.
+                regs["ecx"] = 0
+                regs["edx"] = 0
+                regs["eax"] = result
+                if op.dst is not None:
+                    regs[op.dst.name] = result
+            elif isinstance(op, ir.Syscall):
+                if self.syscall_handler is None:
+                    raise InterpreterError("no syscall handler installed")
+                regs["eax"] = self.syscall_handler(dict(regs), self.memory) & MASK32
+            elif isinstance(op, ir.Jump):
+                pc = labels[op.target]
+            elif isinstance(op, ir.Branch):
+                b = regs[op.b.name] if isinstance(op.b, Register) else op.b & MASK32
+                if _condition(op.cond, regs[op.a.name], b):
+                    pc = labels[op.target]
+            elif isinstance(op, ir.Ret):
+                if op.src is not None:
+                    regs["eax"] = regs[op.src.name]
+                return regs["eax"]
+            else:
+                raise InterpreterError(f"unhandled op {op!r}")
+        raise InterpreterError(f"{function.name}: fell off end without Ret")

@@ -1,0 +1,339 @@
+"""The intermediate representation shared by both backends.
+
+Corpus programs are written in this IR.  The *native* backend
+(:mod:`repro.ropc.nativegen`) compiles IR functions to IA-32 machine
+code — that is how corpus binaries are produced, standing in for the
+paper's gcc-compiled test programs.  The *ROP* backend
+(:mod:`repro.ropc.compiler`) translates an IR function into a ROP chain
+over a gadget catalog — that is the paper's verification-code
+translation (their prototype modified the ROPC compiler; ours plays the
+same role).
+
+IR registers are x86 registers directly (eax, ebx, ecx, edx, esi, edi;
+never esp).  Control flow uses labels and conditional branches; both
+backends support it, the ROP backend via stack-pivot branching.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..x86.registers import EAX, EBP, EBX, ECX, EDI, EDX, ESI, ESP, Register
+
+#: Registers IR code may use.  ebp is reserved as the native backend's
+#: frame pointer and esp is the machine stack pointer.
+IR_REGS = (EAX, EBX, ECX, EDX, ESI, EDI)
+
+BINOPS = ("add", "sub", "and", "or", "xor", "mul")
+SHIFTS = ("shl", "shr", "sar")
+CONDITIONS = ("eq", "ne", "lt", "le", "gt", "ge", "ult", "uge")
+
+
+class IRError(Exception):
+    """Malformed IR."""
+
+
+class Op:
+    """Base class: one IR operation."""
+
+    __slots__ = ()
+
+    def regs_used(self) -> Tuple[Register, ...]:
+        return tuple(
+            getattr(self, slot)
+            for slot in self.__slots__
+            if isinstance(getattr(self, slot), Register)
+        )
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{slot}={getattr(self, slot)!r}" for slot in self.__slots__
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class Label(Op):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class Const(Op):
+    """dst = value"""
+
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: Register, value: int):
+        self.dst = dst
+        self.value = value & 0xFFFFFFFF
+
+
+class Mov(Op):
+    """dst = src"""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: Register, src: Register):
+        self.dst = dst
+        self.src = src
+
+
+class OHUpdate(Op):
+    """mem32[cell] += src — oblivious-hashing state accumulation.
+
+    Lowered to a single ``add [abs32], reg``; exists so the OH baseline
+    can instrument functions without spending a register on the hash.
+    """
+
+    __slots__ = ("src", "cell")
+
+    def __init__(self, src: Register, cell: int):
+        self.src = src
+        self.cell = cell & 0xFFFFFFFF
+
+
+class OHMark(Op):
+    """mem32[cell] += value — hashes control-flow path decisions."""
+
+    __slots__ = ("value", "cell")
+
+    def __init__(self, value: int, cell: int):
+        self.value = value & 0xFFFFFFFF
+        self.cell = cell & 0xFFFFFFFF
+
+
+class AddConst(Op):
+    """dst = dst + value, with the constant encoded as a full imm32.
+
+    Exists for the §IV-B2 immediate-splitting rule: the wide immediate
+    is the canvas the planted return opcode lives in, so the backend
+    must not shrink it to the imm8 form.
+    """
+
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: Register, value: int):
+        self.dst = dst
+        self.value = value & 0xFFFFFFFF
+
+
+class BinOp(Op):
+    """dst = dst <op> src   (two-address)"""
+
+    __slots__ = ("op", "dst", "src")
+
+    def __init__(self, op: str, dst: Register, src: Register):
+        if op not in BINOPS:
+            raise IRError(f"bad binop {op!r}")
+        self.op = op
+        self.dst = dst
+        self.src = src
+
+
+class Neg(Op):
+    __slots__ = ("dst",)
+
+    def __init__(self, dst: Register):
+        self.dst = dst
+
+
+class Not(Op):
+    __slots__ = ("dst",)
+
+    def __init__(self, dst: Register):
+        self.dst = dst
+
+
+class Shift(Op):
+    """dst = dst <shl|shr|sar> amount   (constant amount)"""
+
+    __slots__ = ("op", "dst", "amount")
+
+    def __init__(self, op: str, dst: Register, amount: int):
+        if op not in SHIFTS:
+            raise IRError(f"bad shift {op!r}")
+        self.op = op
+        self.dst = dst
+        self.amount = amount & 0x1F
+
+
+class Load(Op):
+    """dst = mem32[base + disp]"""
+
+    __slots__ = ("dst", "base", "disp")
+
+    def __init__(self, dst: Register, base: Register, disp: int = 0):
+        self.dst = dst
+        self.base = base
+        self.disp = disp
+
+
+class Store(Op):
+    """mem32[base + disp] = src"""
+
+    __slots__ = ("base", "disp", "src")
+
+    def __init__(self, base: Register, src: Register, disp: int = 0):
+        self.base = base
+        self.src = src
+        self.disp = disp
+
+
+class Load8(Op):
+    """dst = zero_extend(mem8[base + disp])"""
+
+    __slots__ = ("dst", "base", "disp")
+
+    def __init__(self, dst: Register, base: Register, disp: int = 0):
+        self.dst = dst
+        self.base = base
+        self.disp = disp
+
+
+class Store8(Op):
+    """mem8[base + disp] = low_byte(src)"""
+
+    __slots__ = ("base", "disp", "src")
+
+    def __init__(self, base: Register, src: Register, disp: int = 0):
+        self.base = base
+        self.src = src
+        self.disp = disp
+
+
+class Param(Op):
+    """dst = i-th stack argument of this function (0-based)"""
+
+    __slots__ = ("dst", "index")
+
+    def __init__(self, dst: Register, index: int):
+        self.dst = dst
+        self.index = index
+
+
+class Call(Op):
+    """dst = callee(args...)   — native backend only.
+
+    Arguments are registers, pushed right-to-left (cdecl).  eax, ecx and
+    edx are caller-clobbered.
+    """
+
+    __slots__ = ("dst", "callee", "args")
+
+    def __init__(self, dst: Optional[Register], callee: str, args: Sequence[Register] = ()):
+        self.dst = dst
+        self.callee = callee
+        self.args = tuple(args)
+
+
+class Syscall(Op):
+    """Invoke int 0x80 (number in eax, args in ebx/ecx/edx); eax = result."""
+
+    __slots__ = ()
+
+
+class Jump(Op):
+    __slots__ = ("target",)
+
+    def __init__(self, target: str):
+        self.target = target
+
+
+class Branch(Op):
+    """if (a <cond> b) goto target.
+
+    ``b`` may be a register or a small constant.
+    """
+
+    __slots__ = ("cond", "a", "b", "target")
+
+    def __init__(self, cond: str, a: Register, b: Union[Register, int], target: str):
+        if cond not in CONDITIONS:
+            raise IRError(f"bad condition {cond!r}")
+        self.cond = cond
+        self.a = a
+        self.b = b
+        self.target = target
+
+
+class Ret(Op):
+    """Return; value (if any) is moved to eax first."""
+
+    __slots__ = ("src",)
+
+    def __init__(self, src: Optional[Register] = None):
+        self.src = src
+
+
+class IRFunction:
+    """A function: name, parameter count, and an op list.
+
+    ``leaf`` functions contain no Call ops and are eligible for
+    translation to verification ROP chains.
+    """
+
+    def __init__(self, name: str, params: int = 0, body: Optional[List[Op]] = None):
+        self.name = name
+        self.params = params
+        self.body: List[Op] = body or []
+
+    # -- builder helpers -------------------------------------------------
+
+    def emit(self, op: Op) -> "IRFunction":
+        self.body.append(op)
+        return self
+
+    def __iter__(self):
+        return iter(self.body)
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not any(isinstance(op, Call) for op in self.body)
+
+    def labels(self) -> dict:
+        """Map of label name -> op index."""
+        return {
+            op.name: i for i, op in enumerate(self.body) if isinstance(op, Label)
+        }
+
+    def op_kinds(self) -> set:
+        """Distinct operation types used — the §VII-B diversity metric."""
+        kinds = set()
+        for op in self.body:
+            if isinstance(op, BinOp):
+                kinds.add(f"binop:{op.op}")
+            elif isinstance(op, Shift):
+                kinds.add(f"shift:{op.op}")
+            elif isinstance(op, Branch):
+                kinds.add(f"branch:{op.cond}")
+            else:
+                kinds.add(type(op).__name__.lower())
+        return kinds
+
+    def validate(self) -> None:
+        """Raise :class:`IRError` on structurally broken IR."""
+        labels = set()
+        for op in self.body:
+            if isinstance(op, Label):
+                if op.name in labels:
+                    raise IRError(f"{self.name}: duplicate label {op.name!r}")
+                labels.add(op.name)
+        for op in self.body:
+            if isinstance(op, (Jump, Branch)) and op.target not in labels:
+                raise IRError(f"{self.name}: undefined label {op.target!r}")
+            for reg in op.regs_used():
+                if reg is ESP or reg is EBP:
+                    raise IRError(f"{self.name}: {reg.name} used in IR")
+            if isinstance(op, Param) and not 0 <= op.index < self.params:
+                raise IRError(
+                    f"{self.name}: param index {op.index} out of range"
+                )
+        if not self.body or not any(isinstance(op, Ret) for op in self.body):
+            raise IRError(f"{self.name}: missing ret")
+
+    def __repr__(self) -> str:
+        return f"<IRFunction {self.name}({self.params}) {len(self.body)} ops>"

@@ -1,0 +1,101 @@
+"""Emission of standard (non-overlapping) gadgets.
+
+§III: "we do not require the inserted overlapping gadgets to form a
+Turing-complete set ... If not, a standard set of non-overlapping
+gadgets can be inserted into the binary to augment the protective
+gadgets already inserted."
+
+Given the kinds a chain requires but the catalog lacks, this module
+assembles one real gadget per missing kind.  The pipeline appends the
+bytes as a ``.gadgets`` section and registers them in the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..gadgets.semantics import classify
+from ..gadgets.types import Gadget, GadgetKind, GadgetOp
+from ..x86.asm import Assembler
+from ..x86.decoder import decode_all
+from ..x86.operands import Imm, mem8, mem32
+from ..x86.registers import ESP
+
+
+class StandardGadgetError(Exception):
+    pass
+
+
+def _emit_kind(asm: Assembler, kind: GadgetKind) -> None:
+    op = kind.op
+    if op == GadgetOp.LOAD_CONST:
+        asm.pop(kind.dst)
+    elif op == GadgetOp.MOV_REG:
+        asm.mov(kind.dst, kind.src)
+    elif op == GadgetOp.BINOP:
+        mnemonic = "imul" if kind.subop == "imul" else kind.subop
+        asm.emit(mnemonic, kind.dst, kind.src)
+    elif op == GadgetOp.LOAD_MEM:
+        asm.mov(kind.dst, mem32(kind.src, disp=kind.disp))
+    elif op == GadgetOp.STORE_MEM:
+        asm.mov(mem32(kind.dst, disp=kind.disp), kind.src)
+    elif op == GadgetOp.ADD_MEM:
+        asm.add(mem32(kind.dst, disp=kind.disp), kind.src)
+    elif op == GadgetOp.ADD_FROM_MEM:
+        asm.add(kind.dst, mem32(kind.src, disp=kind.disp))
+    elif op == GadgetOp.NEG:
+        asm.neg(kind.dst)
+    elif op == GadgetOp.NOT:
+        asm.not_(kind.dst)
+    elif op == GadgetOp.INC:
+        asm.inc(kind.dst)
+    elif op == GadgetOp.DEC:
+        asm.dec(kind.dst)
+    elif op == GadgetOp.SHIFT:
+        asm.emit(kind.subop, kind.dst, Imm(kind.amount, 8))
+    elif op == GadgetOp.SBB_SELF:
+        asm.sbb(kind.dst, kind.dst)
+    elif op == GadgetOp.MOV_ESP:
+        asm.mov(ESP, kind.src)
+    elif op == GadgetOp.POP_ESP:
+        asm.pop(ESP)
+    elif op == GadgetOp.SYSCALL:
+        asm.int(0x80)
+    elif op == GadgetOp.NOP:
+        pass
+    else:
+        raise StandardGadgetError(f"cannot emit a standard gadget for {kind!r}")
+    asm.ret()
+
+
+def emit_standard_gadgets(
+    kinds: Iterable[GadgetKind], base: int
+) -> Tuple[bytes, List[Gadget]]:
+    """Assemble one gadget per kind at ``base``.
+
+    Returns the code bytes and the classified :class:`Gadget` records
+    (classified by the real classifier, so catalog entries built from
+    inserted gadgets are exactly as trustworthy as discovered ones).
+    """
+    kinds = list(kinds)
+    asm = Assembler(base=base)
+    starts = []
+    for kind in kinds:
+        starts.append(asm.offset)
+        _emit_kind(asm, kind)
+    code = asm.assemble()
+
+    gadgets = []
+    for i, (start, kind) in enumerate(zip(starts, kinds)):
+        end = starts[i + 1] if i + 1 < len(starts) else len(code)
+        instructions = decode_all(code[start:end], address=base + start)
+        gadget = classify(instructions)
+        if gadget is None or gadget.kind != kind:
+            raise StandardGadgetError(
+                f"emitted gadget for {kind!r} classified as "
+                f"{gadget.kind if gadget else None!r}"
+            )
+        gadget.provenance = "standard"
+        gadget.synthetic = True
+        gadgets.append(gadget)
+    return code, gadgets

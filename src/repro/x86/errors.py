@@ -1,0 +1,25 @@
+"""Errors raised by the x86 encoder and decoder."""
+
+
+class X86Error(Exception):
+    """Base class for all x86 ISA errors."""
+
+
+class DecodeError(X86Error):
+    """Raised when a byte sequence cannot be decoded as an instruction.
+
+    The gadget finder relies on this error to reject unaligned byte
+    sequences that do not form valid instruction streams.
+    """
+
+    def __init__(self, message, offset=None):
+        super().__init__(message)
+        self.offset = offset
+
+
+class EncodeError(X86Error):
+    """Raised when an instruction cannot be encoded (bad operand combo)."""
+
+
+class AssemblerError(X86Error):
+    """Raised for assembler-level problems (unknown labels, range errors)."""

@@ -1,0 +1,111 @@
+"""Shared opcode tables used by both the encoder and the decoder.
+
+Only the integer IA-32 subset emitted by our corpus generator (and needed
+by the Parallax rewriting rules) is covered.  The tables follow the layout
+of the Intel SDM one-byte and two-byte opcode maps.
+"""
+
+#: Group-1 arithmetic mnemonics indexed by opcode-block / modrm digit.
+ARITH = ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp")
+
+#: Condition-code suffix order for jcc/setcc, indexed by the low opcode nibble.
+CC_NAMES = (
+    "o", "no", "b", "ae", "e", "ne", "be", "a",
+    "s", "ns", "p", "np", "l", "ge", "le", "g",
+)
+
+JCC_MNEMONICS = tuple("j" + cc for cc in CC_NAMES)
+SETCC_MNEMONICS = tuple("set" + cc for cc in CC_NAMES)
+
+#: Shift-group digits (0xc0/0xc1/0xd0-0xd3 /digit).
+SHIFT_DIGITS = {4: "shl", 5: "shr", 7: "sar"}
+SHIFT_DIGIT_OF = {"shl": 4, "shr": 5, "sar": 7}
+
+#: Group-3 (0xf6/0xf7) digits.
+GRP3_DIGITS = {0: "test", 2: "not", 3: "neg", 4: "mul", 5: "imul", 6: "div", 7: "idiv"}
+GRP3_DIGIT_OF = {v: k for k, v in GRP3_DIGITS.items() if v != "test"}
+
+#: Group-5 (0xff) digits.
+GRP5_DIGITS = {0: "inc", 1: "dec", 2: "call", 4: "jmp", 6: "push"}
+
+#: Digit used when a group-1 mnemonic is encoded via 0x80/0x81/0x83.
+ARITH_DIGIT_OF = {name: i for i, name in enumerate(ARITH)}
+
+#: Single-byte opcodes with no operands.
+SIMPLE = {
+    0x27: "daa",
+    0x2F: "das",
+    0x37: "aaa",
+    0x3F: "aas",
+    0x60: "pushad",
+    0x61: "popad",
+    0x90: "nop",
+    0x98: "cwde",
+    0x99: "cdq",
+    0x9B: "fwait",
+    0x9C: "pushfd",
+    0x9D: "popfd",
+    0x9E: "sahf",
+    0x9F: "lahf",
+    0xA4: "movsb",
+    0xA5: "movsd",
+    0xA6: "cmpsb",
+    0xA7: "cmpsd",
+    0xAA: "stosb",
+    0xAB: "stosd",
+    0xAC: "lodsb",
+    0xAD: "lodsd",
+    0xAE: "scasb",
+    0xAF: "scasd",
+    0xC3: "ret",
+    0xC9: "leave",
+    0xCB: "retf",
+    0xCC: "int3",
+    0xCE: "into",
+    0xF4: "hlt",
+    0xF5: "cmc",
+    0xF8: "clc",
+    0xF9: "stc",
+    0xFA: "cli",
+    0xFB: "sti",
+    0xFC: "cld",
+    0xFD: "std",
+}
+
+#: push/pop of segment registers: opcode -> (mnemonic, segment name).
+SEGMENT_OPS = {
+    0x06: ("push", "es"),
+    0x07: ("pop", "es"),
+    0x0E: ("push", "cs"),
+    0x16: ("push", "ss"),
+    0x17: ("pop", "ss"),
+    0x1E: ("push", "ds"),
+    0x1F: ("pop", "ds"),
+}
+
+#: Mnemonics the decoder accepts but the emulator refuses to execute
+#: (and the classifier treats as chain-unusable).  They exist so that
+#: unaligned gadget discovery sees a realistically dense opcode map.
+DECODE_ONLY = frozenset(
+    {
+        "daa", "das", "aaa", "aas", "cwde", "fwait", "pushfd", "popfd",
+        "sahf", "lahf", "cmpsb", "cmpsd", "scasb", "scasd", "into",
+        "cmc", "clc", "stc", "cli", "sti", "cld", "std",
+        "fpu", "enter", "mov_seg", "push_seg", "pop_seg", "bound",
+        "arpl", "loopne", "loope", "loop", "jecxz", "salc", "xlat",
+        "les", "lds", "aam", "aad", "in", "out", "callf", "jmpf",
+        "iretd", "bt", "bts", "btr", "btc", "shld", "shrd", "bswap",
+        "cpuid", "rdtsc", "movsb", "movsd", "stosb", "stosd", "lodsb",
+        "lodsd",
+    }
+)
+SIMPLE_OF = {v: k for k, v in SIMPLE.items()}
+
+#: Opcode byte values that matter to the rewriting rules.
+RET_OPCODE = 0xC3
+RETF_OPCODE = 0xCB
+RET_IMM16_OPCODE = 0xC2
+RETF_IMM16_OPCODE = 0xCA
+
+#: All opcode bytes that can terminate a gadget.
+GADGET_TERMINATORS = frozenset({RET_OPCODE, RETF_OPCODE, RET_IMM16_OPCODE, RETF_IMM16_OPCODE})

@@ -1,0 +1,170 @@
+"""Operand types for IA-32 instructions.
+
+Four operand kinds exist:
+
+* :class:`~repro.x86.registers.Register` — a register operand.
+* :class:`Imm` — an immediate constant, with an explicit encoded width.
+* :class:`Mem` — a memory reference ``[base + index*scale + disp]``.
+* :class:`Rel` — a relative branch displacement (``jmp``/``jcc``/``call``).
+"""
+
+from __future__ import annotations
+
+from .registers import Register
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret ``value`` as a ``width``-bit two's-complement integer."""
+    value &= _mask(width)
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (two's complement encode)."""
+    return value & _mask(width)
+
+
+def fits_signed(value: int, width: int) -> bool:
+    return -(1 << (width - 1)) <= value < (1 << (width - 1))
+
+
+class Imm:
+    """An immediate operand with a fixed encoded width in bits."""
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: int = 32):
+        if width not in (8, 16, 32):
+            raise ValueError("immediate width must be 8, 16 or 32")
+        self.value = to_unsigned(value, width)
+        self.width = width
+
+    @property
+    def signed(self) -> int:
+        return to_signed(self.value, self.width)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Imm)
+            and self.value == other.value
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash(("imm", self.value, self.width))
+
+    def __repr__(self) -> str:
+        return f"0x{self.value:x}"
+
+
+class Mem:
+    """A memory operand ``width ptr [base + index*scale + disp]``.
+
+    Any of ``base``/``index`` may be ``None``.  ``scale`` is 1, 2, 4 or 8.
+    ``width`` is the access width in bits.
+    """
+
+    __slots__ = ("base", "index", "scale", "disp", "width")
+
+    def __init__(
+        self,
+        base: Register = None,
+        index: Register = None,
+        scale: int = 1,
+        disp: int = 0,
+        width: int = 32,
+    ):
+        if scale not in (1, 2, 4, 8):
+            raise ValueError("scale must be 1, 2, 4 or 8")
+        if index is not None and index.name == "esp":
+            raise ValueError("esp cannot be an index register")
+        self.base = base
+        self.index = index
+        self.scale = scale
+        self.disp = to_signed(disp, 32)
+        self.width = width
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Mem) and (
+            (self.base, self.index, self.scale, self.disp, self.width)
+            == (other.base, other.index, other.scale, other.disp, other.width)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("mem", self.base, self.index, self.scale, self.disp, self.width))
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            parts.append(f"{self.index.name}*{self.scale}")
+        if self.disp or not parts:
+            parts.append(f"{self.disp:#x}")
+        size = {8: "byte", 16: "word", 32: "dword"}[self.width]
+        return f"{size} [" + "+".join(parts).replace("+-", "-") + "]"
+
+
+class SegReg:
+    """A segment register operand (decode-only; flat memory model)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SegReg) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("seg", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Rel:
+    """A relative displacement operand for branches.
+
+    ``offset`` is the signed displacement from the end of the instruction;
+    ``target`` (if the instruction address is known) is the absolute
+    destination address.
+    """
+
+    __slots__ = ("offset", "width", "target")
+
+    def __init__(self, offset: int, width: int = 32, target: int = None):
+        self.offset = to_signed(offset, width)
+        self.width = width
+        self.target = target
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Rel)
+            and self.offset == other.offset
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash(("rel", self.offset, self.width))
+
+    def __repr__(self) -> str:
+        if self.target is not None:
+            return f"0x{self.target:x}"
+        return f".{self.offset:+#x}"
+
+
+def mem8(base=None, index=None, scale=1, disp=0) -> Mem:
+    """Shorthand for a byte-sized memory operand."""
+    return Mem(base, index, scale, disp, width=8)
+
+
+def mem32(base=None, index=None, scale=1, disp=0) -> Mem:
+    """Shorthand for a dword-sized memory operand."""
+    return Mem(base, index, scale, disp, width=32)

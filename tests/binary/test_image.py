@@ -1,0 +1,79 @@
+"""BinaryImage, sections, symbols, patches."""
+
+import pytest
+
+from repro.binary import BinaryImage, Patch, PatchSet, Perm, Section
+
+
+@pytest.fixture()
+def image():
+    img = BinaryImage("t")
+    img.add_section(Section(".text", 0x1000, b"\x90" * 64, Perm.RX))
+    img.add_section(Section(".data", 0x2000, b"\x00" * 32, Perm.RW))
+    img.add_function("f", 0x1000, 16)
+    img.add_function("g", 0x1010, 16)
+    return img
+
+
+def test_section_lookup(image):
+    assert image.section(".text").executable
+    assert not image.section(".data").executable
+    assert image.section_at(0x1005).name == ".text"
+    assert image.section_at(0x3000) is None
+    with pytest.raises(KeyError):
+        image.section(".bss")
+
+
+def test_overlapping_sections_rejected(image):
+    with pytest.raises(ValueError):
+        image.add_section(Section(".evil", 0x1020, b"x", Perm.R))
+
+
+def test_read_write_u32(image):
+    image.write_u32(0x2000, 0xDEADBEEF)
+    assert image.read_u32(0x2000) == 0xDEADBEEF
+    with pytest.raises(IndexError):
+        image.read(0x1FFF, 8)  # straddles a hole
+
+
+def test_symbol_at(image):
+    assert image.symbols.at(0x1008).name == "f"
+    assert image.symbols.at(0x1010).name == "g"
+    assert image.symbols.at(0x10FF) is None
+
+
+def test_clone_is_deep(image):
+    clone = image.clone()
+    clone.write(0x1000, b"\xcc")
+    assert image.read(0x1000, 1) == b"\x90"
+
+
+def test_patch_apply_revert(image):
+    patch = Patch(0x1000, b"\x90\x90", b"\xcc\xcc")
+    patch.apply(image)
+    assert image.read(0x1000, 2) == b"\xcc\xcc"
+    patch.revert(image)
+    assert image.read(0x1000, 2) == b"\x90\x90"
+
+
+def test_patch_mismatch_detected(image):
+    patch = Patch(0x1000, b"\xff", b"\xcc")
+    with pytest.raises(ValueError):
+        patch.apply(image)
+
+
+def test_patchset_conflicts(image):
+    patches = PatchSet()
+    patches.add(Patch(0x1000, b"\x90\x90", b"\xcc\xcc"))
+    with pytest.raises(ValueError):
+        patches.add(Patch(0x1001, b"\x90", b"\xcc"))
+    assert patches.conflicts(Patch(0x1001, b"\x90", b"\xcc"))
+    patches.add(Patch(0x1004, b"\x90", b"\xcc"))
+    patches.apply(image)
+    patches.revert(image)
+    assert image.read(0x1000, 8) == b"\x90" * 8
+
+
+def test_patch_must_preserve_length():
+    with pytest.raises(ValueError):
+        Patch(0, b"\x90", b"\xcc\xcc")

@@ -1,0 +1,77 @@
+"""Instruction-level µ-chains (§V-C)."""
+
+import pytest
+
+from repro.core import MicrochainError, protect_microchains
+from repro.emu import Emulator
+
+
+@pytest.fixture(scope="module")
+def micro(small_gzip):
+    return protect_microchains(small_gzip, "digest_gzip")
+
+
+def test_behaviour_preserved(small_gzip, micro):
+    baseline = small_gzip.run()
+    result = micro.run()
+    assert not result.crashed
+    assert result.stdout == baseline.stdout
+    assert result.exit_status == baseline.exit_status
+
+
+def test_one_chain_per_dataflow_op(small_gzip, micro):
+    from repro.core.microchains import CHAIN_OPS
+    function = small_gzip.functions["digest_gzip"]
+    expected = sum(1 for op in function.body if isinstance(op, CHAIN_OPS))
+    assert micro.chain_count == expected
+
+
+def test_microchains_cost_more_than_function_chain(small_gzip, micro):
+    from repro.core import Parallax, ProtectConfig
+
+    func = Parallax(
+        ProtectConfig(strategy="cleartext", verification_functions=["digest_gzip"])
+    ).protect(small_gzip)
+
+    def cost(image):
+        emulator = Emulator(image, max_steps=10_000_000)
+        before = emulator.cycles
+        emulator.call_function(
+            image.symbols["digest_gzip"].vaddr,
+            [1, 2, small_gzip.data.addr("stats")],
+        )
+        return emulator.cycles - before
+
+    assert cost(micro.image) > cost(func.image)
+
+
+def test_tampering_microchain_gadget_detected(small_gzip, micro):
+    baseline = small_gzip.run()
+    image = micro.image.clone()
+    # find a gadget address the µ-chains actually use: chain words that
+    # point into an executable section
+    section = image.section(".uchains")
+    words = [
+        int.from_bytes(section.data[i : i + 4], "little")
+        for i in range(0, section.size, 4)
+    ]
+    target = next(
+        w for w in words
+        if image.section_at(w) is not None and image.section_at(w).executable
+    )
+    tampered_section = image.section_at(target)
+    tampered_section.data[target - tampered_section.vaddr] ^= 0xFF
+    from repro.emu import run_image
+    result = run_image(image, max_steps=100_000_000)
+    assert result.crashed or result.stdout != baseline.stdout
+
+
+def test_scratch_conflict_rejected(small_gzip):
+    # memcpy_words uses edi -> the default scratch collides
+    with pytest.raises(MicrochainError):
+        protect_microchains(small_gzip, "memcpy_words")
+
+
+def test_non_leaf_rejected(small_gzip):
+    with pytest.raises(MicrochainError):
+        protect_microchains(small_gzip, "main")

@@ -1,0 +1,43 @@
+"""Protecting several verification functions at once."""
+
+import pytest
+
+from repro.core import Parallax, ProtectConfig
+
+
+@pytest.fixture(scope="module")
+def multi_protected(small_wget):
+    config = ProtectConfig(
+        strategy="xor",
+        verification_functions=["digest_wget", "crc_step", "rotate_xor"],
+    )
+    return Parallax(config).protect(small_wget)
+
+
+def test_behaviour_preserved(small_wget, small_wget_baseline, multi_protected):
+    result = multi_protected.run()
+    assert not result.crashed
+    assert result.stdout == small_wget_baseline.stdout
+    assert result.exit_status == small_wget_baseline.exit_status
+
+
+def test_three_chains_three_stubs(multi_protected):
+    report = multi_protected.report
+    assert len(report.chains) == 3
+    stubs = {record.stub_addr for record in report.chains}
+    assert len(stubs) == 3
+    chains = {record.chain_addr for record in report.chains}
+    assert len(chains) == 3
+
+
+def test_every_entry_redirected(multi_protected):
+    image = multi_protected.image
+    for name in ("digest_wget", "crc_step", "rotate_xor"):
+        assert image.read(image.symbols[name].vaddr, 1) == b"\xe9"
+
+
+def test_distinct_frame_cells(multi_protected):
+    # each chain writes its own frame/resume cells; the ropdata section
+    # must be big enough for all of them
+    section = multi_protected.image.section(".ropdata")
+    assert section.size >= 3 * 8

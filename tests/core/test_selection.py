@@ -1,0 +1,36 @@
+"""§VII-B verification-function selection."""
+
+import pytest
+
+from repro.core import (
+    SelectionError, rank_candidates, select_verification_function,
+)
+from repro.core.selection import is_chain_translatable
+
+
+def test_selects_the_digest(small_wget):
+    assert select_verification_function(small_wget) == "digest_wget"
+
+
+def test_candidate_ranking_fields(small_wget):
+    infos = {i.name: i for i in rank_candidates(small_wget)}
+    digest = infos["digest_wget"]
+    assert digest.translatable
+    assert digest.call_sites >= 2           # step 1
+    assert 0 < digest.time_share < 0.02     # step 2
+    # step 3: most op kinds among the eligible
+    eligible = [
+        i for i in infos.values()
+        if i.translatable and 0 < i.time_share < 0.02
+    ]
+    assert digest.op_kinds == max(i.op_kinds for i in eligible)
+
+
+def test_hot_functions_excluded(small_wget):
+    infos = {i.name: i for i in rank_candidates(small_wget)}
+    # the bulk-transfer helpers burn most cycles -> above threshold
+    assert infos["checksum_words"].time_share > 0.02
+
+
+def test_non_leaf_not_translatable(small_wget):
+    assert not is_chain_translatable(small_wget.functions["main"])

@@ -1,0 +1,33 @@
+"""Loader stub generation."""
+
+from repro.core import build_loader_stub
+from repro.x86 import decode_all
+
+
+def test_stub_structure():
+    stub = build_loader_stub(0x1000, 0x2000, 0x2004, 0x3000)
+    insns = decode_all(stub.code, address=0x1000)
+    mnems = [i.mnemonic for i in insns]
+    assert mnems[0] == "pushad"
+    assert mnems[-2:] == ["popad", "ret"]
+    assert "ret" in mnems[:-1]  # the pivot ret
+
+
+def test_resume_address_is_stable():
+    stub = build_loader_stub(0x1000, 0x2000, 0x2004, 0x3000)
+    # the resume sequence (popad; ret) lives at the recorded address
+    offset = stub.resume - stub.base
+    assert stub.code[offset] == 0x61  # popad
+    assert stub.code[offset + 1] == 0xC3
+
+
+def test_decrypting_stub_calls_support():
+    stub = build_loader_stub(
+        0x1000, 0x2000, 0x2004, 0x3000,
+        decrypt_call=0x5000, decrypt_args=(1, 2, 3),
+    )
+    insns = decode_all(stub.code, address=0x1000)
+    calls = [i for i in insns if i.mnemonic == "call"]
+    assert calls and calls[0].branch_target() == 0x5000
+    pushes = [i for i in insns if i.mnemonic == "push"]
+    assert len(pushes) >= 4  # 3 args + resume address

@@ -1,0 +1,69 @@
+"""Corpus programs: determinism, structure, runnability."""
+
+import pytest
+
+from repro.corpus import PROGRAM_NAMES, build_program, build_wget
+from repro.corpus.generator import FunctionGenerator, MixProfile
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_small_variant_runs_clean(name):
+    kwargs = {"blocks": 2}
+    program = __import__("repro.corpus.programs", fromlist=[f"build_{name}"]).__dict__[
+        f"build_{name}"
+    ](**kwargs)
+    result = program.run(max_steps=20_000_000)
+    assert not result.crashed, result.fault
+    assert result.exit_status is not None
+    assert len(result.stdout) == 8  # hex digest
+
+
+def test_program_is_deterministic():
+    r1 = build_wget(blocks=1, chunks=2).run()
+    r2 = build_wget(blocks=1, chunks=2).run()
+    assert r1.stdout == r2.stdout
+    assert r1.exit_status == r2.exit_status
+    assert r1.cycles == r2.cycles
+
+
+def test_symbols_cover_functions(small_wget):
+    image = small_wget.image
+    for name in small_wget.functions:
+        symbol = image.symbols[name]
+        assert symbol.size > 0
+        assert symbol.ir is small_wget.functions[name]
+
+
+def test_antidebug_refuses_debugger(small_wget):
+    traced = small_wget.run(debugger_attached=True)
+    assert traced.exit_status == 99
+    clean = small_wget.run()
+    assert clean.exit_status != 99
+
+
+def test_candidates_are_translatable(small_wget):
+    from repro.core import is_chain_translatable
+    for name in small_wget.candidates:
+        assert is_chain_translatable(small_wget.functions[name]), name
+
+
+def test_generator_determinism_and_validity():
+    profile = MixProfile(functions=10)
+    fns1 = FunctionGenerator(profile, 0x8090000, seed=5).generate("f")
+    fns2 = FunctionGenerator(profile, 0x8090000, seed=5).generate("f")
+    assert [f.name for f in fns1] == [f.name for f in fns2]
+    for f1, f2 in zip(fns1, fns2):
+        f1.validate()
+        assert len(f1.body) == len(f2.body)
+    fns3 = FunctionGenerator(profile, 0x8090000, seed=6).generate("f")
+    assert any(len(a.body) != len(b.body) for a, b in zip(fns1, fns3))
+
+
+def test_generated_functions_execute():
+    from repro.ropc.interpreter import Interpreter, IRMemory
+    profile = MixProfile(functions=6, call_density=0.5)
+    functions = FunctionGenerator(profile, 0x8090000, seed=9).generate("g")
+    table = {f.name: f for f in functions}
+    interp = Interpreter(table, IRMemory(), max_ops=500_000)
+    for f in functions:
+        interp.run(f, [12345])  # must terminate without fault

@@ -1,0 +1,37 @@
+"""Stream ciphers vs known vectors."""
+
+from repro.crypto import rc4_crypt, rc4_stream, xor_crypt_words, xorshift32
+
+
+def test_rc4_known_vectors():
+    # RFC 6229-adjacent classics
+    assert rc4_crypt(b"Key", b"Plaintext").hex() == "bbf316e8d940af0ad3"
+    assert rc4_crypt(b"Wiki", b"pedia").hex() == "1021bf0420"
+    assert rc4_crypt(b"Secret", b"Attack at dawn").hex() == "45a01f645fc35b383552544b9bf5"
+
+
+def test_rc4_symmetry():
+    key, data = b"0123456789abcdef", bytes(range(100))
+    assert rc4_crypt(key, rc4_crypt(key, data)) == data
+
+
+def test_rc4_stream_prefix_property():
+    key = b"k" * 16
+    assert rc4_stream(key, 64)[:16] == rc4_stream(key, 16)
+
+
+def test_xorshift32_period_sanity():
+    seen = set()
+    state = 1
+    for _ in range(10_000):
+        state = xorshift32(state)
+        assert state != 0
+        seen.add(state)
+    assert len(seen) == 10_000
+
+
+def test_xor_crypt_words_roundtrip():
+    data = bytes(range(64))
+    enc = xor_crypt_words(0xABCD, data)
+    assert enc != data
+    assert xor_crypt_words(0xABCD, enc) == data

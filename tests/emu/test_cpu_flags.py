@@ -1,0 +1,71 @@
+"""CPU flag computation unit tests."""
+
+import pytest
+
+from repro.emu import CPUState
+from repro.x86 import AH, AL, AX, EAX, EBX
+
+
+def test_register_aliasing_through_state():
+    cpu = CPUState()
+    cpu.set(EAX, 0x11223344)
+    assert cpu.get(AL) == 0x44
+    assert cpu.get(AH) == 0x33
+    assert cpu.get(AX) == 0x3344
+    cpu.set(AH, 0xAB)
+    assert cpu.get(EAX) == 0x1122AB44
+    cpu.set(AL, 0xCD)
+    assert cpu.get(EAX) == 0x1122ABCD
+    cpu.set(AX, 0xBEEF)
+    assert cpu.get(EAX) == 0x1122BEEF
+
+
+@pytest.mark.parametrize(
+    "a,b,carry,cf,zf,sf,of",
+    [
+        (0xFFFFFFFF, 1, 0, True, True, False, False),
+        (0x7FFFFFFF, 1, 0, False, False, True, True),
+        (1, 1, 0, False, False, False, False),
+        (0x80000000, 0x80000000, 0, True, True, False, True),
+        (0xFFFFFFFF, 0, 1, True, True, False, False),
+    ],
+)
+def test_add_flags(a, b, carry, cf, zf, sf, of):
+    cpu = CPUState()
+    cpu.set_add_flags(a, b, carry, 32)
+    assert (cpu.cf, cpu.zf, cpu.sf, cpu.of) == (cf, zf, sf, of)
+
+
+@pytest.mark.parametrize(
+    "a,b,cf,zf,sf,of",
+    [
+        (0, 1, True, False, True, False),
+        (1, 1, False, True, False, False),
+        (0x80000000, 1, False, False, False, True),
+        (5, 3, False, False, False, False),
+    ],
+)
+def test_sub_flags(a, b, cf, zf, sf, of):
+    cpu = CPUState()
+    cpu.set_sub_flags(a, b, 0, 32)
+    assert (cpu.cf, cpu.zf, cpu.sf, cpu.of) == (cf, zf, sf, of)
+
+
+def test_condition_evaluation_table():
+    cpu = CPUState()
+    cpu.set_sub_flags(5, 7, 0, 32)  # 5 - 7: signed less, unsigned borrow
+    assert cpu.condition("l") and cpu.condition("le") and cpu.condition("b")
+    assert not cpu.condition("g") and not cpu.condition("ae")
+    cpu.set_sub_flags(7, 7, 0, 32)
+    assert cpu.condition("e") and cpu.condition("le") and cpu.condition("ge")
+    cpu.set_sub_flags(0x80000000, 1, 0, 32)  # signed overflow case
+    assert cpu.condition("l")  # INT_MIN < 1 signed
+
+
+def test_logic_flags_clear_carry():
+    cpu = CPUState()
+    cpu.cf = cpu.of = True
+    cpu.set_logic_flags(0, 32)
+    assert not cpu.cf and not cpu.of and cpu.zf
+    cpu.set_logic_flags(0x80000000, 32)
+    assert cpu.sf

@@ -1,0 +1,192 @@
+"""Instruction semantics, flags, stack, faults, the RAS model."""
+
+import pytest
+
+from repro.binary import BinaryImage, Perm, Section
+from repro.emu import (
+    BadFetch, DivideError, Emulator, Halted, StepLimitExceeded,
+)
+from repro.x86 import Assembler, EAX, EBX, ECX, EDX, ESI, Imm, mem32
+
+
+def run_snippet(build, args=(), setup=None):
+    a = Assembler(base=0x1000)
+    build(a)
+    a.ret()
+    img = BinaryImage("t")
+    img.add_section(Section(".text", 0x1000, a.assemble(), Perm.RX))
+    img.add_section(Section(".data", 0x8000, bytes(256), Perm.RW))
+    emu = Emulator(img, max_steps=100_000)
+    if setup:
+        setup(emu)
+    return emu.call_function(0x1000, list(args)), emu
+
+
+class TestArithmetic:
+    def test_add_with_carry_chain(self):
+        def build(a):
+            a.mov(EAX, Imm(0xFFFFFFFF, 32))
+            a.add(EAX, 1)          # CF=1, eax=0
+            a.mov(EBX, 0)
+            a.adc(EBX, 0)          # ebx = CF
+            a.mov(EAX, EBX)
+        value, _ = run_snippet(build)
+        assert value == 1
+
+    def test_sub_borrow_chain(self):
+        def build(a):
+            a.mov(EAX, 0)
+            a.sub(EAX, 1)          # CF=1 (borrow)
+            a.mov(EAX, 0)
+            a.sbb(EAX, 0)          # eax = -CF
+        value, _ = run_snippet(build)
+        assert value == 0xFFFFFFFF
+
+    def test_signed_overflow_flag(self):
+        def build(a):
+            a.mov(EAX, Imm(0x7FFFFFFF, 32))
+            a.add(EAX, 1)
+            a.mov(EAX, 0)
+            a.jo("overflow")
+            a.ret()
+            a.label("overflow")
+            a.mov(EAX, 1)
+        value, _ = run_snippet(build)
+        assert value == 1
+
+    def test_mul_div_roundtrip(self):
+        def build(a):
+            a.mov(EAX, 1234)
+            a.mov(ECX, 77)
+            a.mul(ECX)            # edx:eax = 95018
+            a.div(ECX)            # back to 1234
+        value, _ = run_snippet(build)
+        assert value == 1234
+
+    def test_idiv_negative(self):
+        def build(a):
+            a.mov(EAX, Imm(-7 & 0xFFFFFFFF, 32))
+            a.cdq()
+            a.mov(ECX, 2)
+            a.idiv(ECX)
+        value, _ = run_snippet(build)
+        assert value == (-3) & 0xFFFFFFFF  # truncation toward zero
+
+    def test_divide_by_zero_faults(self):
+        with pytest.raises(DivideError):
+            run_snippet(lambda a: (a.mov(EAX, 1), a.xor(ECX, ECX), a.div(ECX)))
+
+    def test_sar_is_arithmetic(self):
+        def build(a):
+            a.mov(EAX, Imm(-16 & 0xFFFFFFFF, 32))
+            a.sar(EAX, 2)
+        value, _ = run_snippet(build)
+        assert value == (-4) & 0xFFFFFFFF
+
+    def test_shifts_and_masks(self):
+        def build(a):
+            a.mov(EAX, Imm(0x80000001, 32))
+            a.shr(EAX, 1)
+            a.shl(EAX, 1)
+        value, _ = run_snippet(build)
+        assert value == 0x80000000
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        def build(a):
+            a.push(Imm(0x1234, 32))
+            a.pop(EAX)
+        value, _ = run_snippet(build)
+        assert value == 0x1234
+
+    def test_pushad_popad_preserve(self):
+        def build(a):
+            a.mov(EBX, 42)
+            a.pushad()
+            a.mov(EBX, 99)
+            a.popad()
+            a.mov(EAX, EBX)
+        value, _ = run_snippet(build)
+        assert value == 42
+
+    def test_call_function_args(self):
+        def build(a):
+            a.mov(EAX, mem32(a.__class__ and __import__("repro.x86", fromlist=["ESP"]).ESP, disp=4))
+        value, _ = run_snippet(build, args=(55,))
+        assert value == 55
+
+    def test_ras_counts_rop_as_mispredicted(self):
+        # A paired call/ret predicts; a ROP-style bare ret does not.
+        a = Assembler(base=0x1000)
+        a.call("callee")
+        a.ret()
+        a.label("callee")
+        a.ret()
+        img = BinaryImage("t")
+        img.add_section(Section(".text", 0x1000, a.assemble(), Perm.RX))
+        emu = Emulator(img, max_steps=100)
+        emu.call_function(0x1000)
+        paired = emu.ret_mispredicts
+        # Now a chain: ret into an address never set up by call
+        emu2 = Emulator(img, max_steps=100)
+        emu2.push(0x1005)  # some code address
+        emu2.cpu.eip = 0x1005
+        assert paired <= 1
+
+
+class TestFaults:
+    def test_fetch_unmapped(self):
+        a = Assembler(base=0x1000)
+        a.jmp(mem32(disp=0x8000))
+        img = BinaryImage("t")
+        img.add_section(Section(".text", 0x1000, a.assemble(), Perm.RX))
+        img.add_section(Section(".data", 0x8000, (0x99999999).to_bytes(4, "little"), Perm.RW))
+        emu = Emulator(img, max_steps=10)
+        with pytest.raises(BadFetch):
+            while True:
+                emu.step()
+
+    def test_hlt(self):
+        with pytest.raises(Halted):
+            run_snippet(lambda a: a.hlt())
+
+    def test_step_limit(self):
+        a = Assembler(base=0x1000)
+        a.label("spin")
+        a.jmp("spin")
+        img = BinaryImage("t")
+        img.add_section(Section(".text", 0x1000, a.assemble(), Perm.RX))
+        emu = Emulator(img, max_steps=100)
+        emu.cpu.eip = 0x1000
+        with pytest.raises(StepLimitExceeded):
+            while True:
+                emu.step()
+
+    def test_run_captures_fault(self):
+        img = BinaryImage("t")
+        img.add_section(Section(".text", 0x1000, b"\xf4", Perm.RX))
+        img.entry = 0x1000
+        from repro.emu import run_image
+        result = run_image(img)
+        assert result.crashed
+
+
+class TestSelfModifyingCode:
+    def test_decode_cache_invalidation(self):
+        # Code stores a new opcode over itself; the emulator must see it.
+        a = Assembler(base=0x1000)
+        a.mov(EAX, Imm(0x90909090, 32))      # four nop opcodes
+        a.mov(mem32(disp=0x100B), EAX)       # overwrite marked instruction
+        a.label("target")
+        a.raw(b"\xf4\x90\x90\x90")           # hlt (to be replaced by nop)
+        a.mov(EAX, 123)
+        a.ret()
+        code = a.assemble()
+        assert a.address_of("target") == 0x100B
+        assert code[0x0B] == 0xF4
+        img = BinaryImage("t")
+        img.add_section(Section(".text", 0x1000, code, Perm.RWX))
+        emu = Emulator(img, max_steps=100)
+        value = emu.call_function(0x1000)
+        assert value == 123

@@ -1,0 +1,60 @@
+"""Paged memory and the instruction/data split view."""
+
+import pytest
+
+from repro.emu import BadMemoryAccess, Memory
+
+
+def test_map_read_write_roundtrip():
+    mem = Memory()
+    mem.map(0x1000, b"hello world")
+    assert mem.read(0x1000, 11) == b"hello world"
+    mem.write(0x1002, b"XY")
+    assert mem.read(0x1000, 5) == b"heXYo"
+
+
+def test_cross_page_access():
+    mem = Memory()
+    mem.map(0xFFC, b"\x01\x02\x03\x04\x05\x06\x07\x08")
+    assert mem.read_u32(0xFFE) == 0x06050403
+    mem.write_u32(0xFFE, 0xAABBCCDD)
+    assert mem.read(0xFFC, 8) == b"\x01\x02\xdd\xcc\xbb\xaa\x07\x08"
+
+
+def test_unmapped_access_raises():
+    mem = Memory()
+    with pytest.raises(BadMemoryAccess):
+        mem.read(0x5000, 1)
+    with pytest.raises(BadMemoryAccess):
+        mem.write(0x5000, b"\x00")
+
+
+def test_icache_split_view():
+    """The Wurster primitive: fetch sees the patch, reads do not."""
+    mem = Memory()
+    mem.map(0x1000, b"\xc3\xc3\xc3\xc3")
+    mem.patch_code_view(0x1001, b"\x90")
+    assert mem.read(0x1000, 4) == b"\xc3\xc3\xc3\xc3"      # data view pristine
+    assert mem.fetch(0x1000, 4) == b"\xc3\x90\xc3\xc3"     # fetch tampered
+    assert mem.code_view_dirty
+    mem.clear_code_view()
+    assert mem.fetch(0x1000, 4) == b"\xc3\xc3\xc3\xc3"
+    assert not mem.code_view_dirty
+
+
+def test_page_versions_bump_on_write():
+    mem = Memory()
+    mem.map(0x1000, b"\x00" * 8)
+    v0 = mem.page_version(0x1000)
+    mem.write_u8(0x1004, 7)
+    assert mem.page_version(0x1000) > v0
+    v1 = mem.page_version(0x1000)
+    mem.patch_code_view(0x1000, b"\x90")
+    assert mem.page_version(0x1000) > v1
+
+
+def test_fetch_window_clamps_at_unmapped():
+    mem = Memory()
+    mem.map_zero(0x1000, 0x1000)
+    window = mem.fetch_window(0x1FFA, 16)
+    assert len(window) == 6

@@ -1,0 +1,17 @@
+"""Per-function cycle attribution."""
+
+from repro.emu import profile_run
+
+
+def test_profiler_attributes_functions(small_wget):
+    result, profiler = profile_run(small_wget.image)
+    assert not result.crashed
+    assert profiler.total_cycles > 0
+    shares = {
+        name: profiler.time_fraction(name) for name in small_wget.functions
+    }
+    # the bulk work dominates, the digest is cheap
+    assert shares["checksum_words"] > shares["digest_wget"]
+    assert abs(sum(profiler.time_fraction(p.name) for p in profiler.profiles.values()) - 1.0) < 1e-9
+    assert profiler.call_count("digest_wget") >= 2
+    assert "function" in profiler.report()

@@ -1,0 +1,59 @@
+"""Toy OS surface."""
+
+import pytest
+
+from repro.binary import BinaryImage, Perm, Section
+from repro.emu import Emulator, OperatingSystem, run_image
+from repro.x86 import Assembler, EAX, EBX, ECX, EDX, Imm
+
+
+def make_image(build):
+    a = Assembler(base=0x1000)
+    build(a)
+    img = BinaryImage("t")
+    img.add_section(Section(".text", 0x1000, a.assemble(), Perm.RX))
+    img.add_section(Section(".data", 0x8000, b"ping\x00" + bytes(59), Perm.RW))
+    img.entry = 0x1000
+    return img
+
+
+def test_write_and_exit():
+    def build(a):
+        a.mov(EAX, 4); a.mov(EBX, 1)
+        a.mov(ECX, Imm(0x8000, 32)); a.mov(EDX, 4)
+        a.int(0x80)
+        a.mov(EBX, EAX)  # exit status = bytes written
+        a.mov(EAX, 1); a.int(0x80)
+    result = run_image(make_image(build))
+    assert result.stdout == b"ping"
+    assert result.exit_status == 4
+
+
+def test_ptrace_detects_debugger():
+    def build(a):
+        a.mov(EAX, 26); a.xor(EBX, EBX); a.xor(ECX, ECX); a.xor(EDX, EDX)
+        a.int(0x80)
+        a.mov(EBX, EAX)
+        a.mov(EAX, 1); a.int(0x80)
+    clean = run_image(make_image(build))
+    traced = run_image(make_image(build), debugger_attached=True)
+    assert clean.exit_status == 0
+    assert traced.exit_status == 0xFF  # -1 truncated to exit byte
+
+
+def test_read_consumes_stdin():
+    def build(a):
+        a.mov(EAX, 3); a.xor(EBX, EBX)
+        a.mov(ECX, Imm(0x8010, 32)); a.mov(EDX, 8)
+        a.int(0x80)
+        a.mov(EBX, EAX)
+        a.mov(EAX, 1); a.int(0x80)
+    result = run_image(make_image(build), stdin=b"abc")
+    assert result.exit_status == 3
+
+
+def test_getpid_and_time_deterministic():
+    os1 = OperatingSystem()
+    os2 = OperatingSystem()
+    assert os1.pid == os2.pid
+    assert os1.clock == os2.clock

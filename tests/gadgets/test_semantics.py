@@ -1,0 +1,82 @@
+"""Gadget classification."""
+
+import pytest
+
+from repro.gadgets import GadgetOp, classify
+from repro.x86 import Assembler, EAX, EBX, ECX, EDX, ESI, ESP, Imm, decode_all, mem32, mem8
+
+
+def classify_snippet(build):
+    a = Assembler()
+    build(a)
+    return classify(decode_all(a.assemble()))
+
+
+CASES = [
+    (lambda a: (a.pop(EAX), a.ret()), GadgetOp.LOAD_CONST),
+    (lambda a: (a.mov(EBX, EAX), a.ret()), GadgetOp.MOV_REG),
+    (lambda a: (a.add(ESI, EAX), a.ret()), GadgetOp.BINOP),
+    (lambda a: (a.xor(EAX, EBX), a.ret()), GadgetOp.BINOP),
+    (lambda a: (a.imul(EAX, EBX), a.ret()), GadgetOp.BINOP),
+    (lambda a: (a.mov(EAX, mem32(EBX, disp=4)), a.ret()), GadgetOp.LOAD_MEM),
+    (lambda a: (a.mov(mem32(ECX), EAX), a.ret()), GadgetOp.STORE_MEM),
+    (lambda a: (a.add(mem32(ECX), EAX), a.ret()), GadgetOp.ADD_MEM),
+    (lambda a: (a.add(EAX, mem32(ECX)), a.ret()), GadgetOp.ADD_FROM_MEM),
+    (lambda a: (a.neg(EAX), a.ret()), GadgetOp.NEG),
+    (lambda a: (a.not_(EBX), a.ret()), GadgetOp.NOT),
+    (lambda a: (a.inc(ECX), a.ret()), GadgetOp.INC),
+    (lambda a: (a.dec(EDX), a.ret()), GadgetOp.DEC),
+    (lambda a: (a.sar(EAX, Imm(31, 8)), a.ret()), GadgetOp.SHIFT),
+    (lambda a: (a.sbb(EAX, EAX), a.ret()), GadgetOp.SBB_SELF),
+    (lambda a: (a.mov(ESP, EAX), a.ret()), GadgetOp.MOV_ESP),
+    (lambda a: (a.xchg(EAX, ESP), a.ret()), GadgetOp.MOV_ESP),
+    (lambda a: (a.pop(ESP), a.ret()), GadgetOp.POP_ESP),
+    (lambda a: (a.int(0x80), a.ret()), GadgetOp.SYSCALL),
+    (lambda a: a.ret(), GadgetOp.NOP),
+    (lambda a: (a.nop(), a.ret()), GadgetOp.NOP),
+]
+
+
+@pytest.mark.parametrize("build,expected", CASES, ids=[c[1] + str(i) for i, c in enumerate(CASES)])
+def test_classification(build, expected):
+    gadget = classify_snippet(build)
+    assert gadget is not None
+    assert gadget.kind.op == expected
+
+
+def test_paper_sar_byte_gadget_is_byte_op():
+    gadget = classify_snippet(lambda a: (a.sar(mem8(ECX, disp=7), 0x8B), a.ret()))
+    assert gadget.kind.op == GadgetOp.BYTE_OP
+    assert gadget.kind.dst is ECX
+    assert gadget.kind.disp == 7
+
+
+def test_control_flow_in_body_rejected():
+    assert classify_snippet(lambda a: (a.call(EAX), a.ret())) is None
+    a = Assembler()
+    a.jmp("x"); a.label("x"); a.ret()
+    from repro.gadgets import classify as c
+    from repro.x86 import decode_all as d
+    assert c(d(a.assemble())) is None
+
+
+def test_far_return_flag():
+    gadget = classify_snippet(lambda a: (a.mov(EAX, EBX), a.retf()))
+    assert gadget.far
+    assert gadget.kind.op == GadgetOp.MOV_REG
+
+
+def test_ret_imm_recorded():
+    gadget = classify_snippet(lambda a: (a.pop(EAX), a.ret(Imm(8, 16))))
+    assert gadget.ret_imm == 8
+
+
+def test_stack_words_counts_pops():
+    gadget = classify_snippet(lambda a: (a.pop(EAX), a.pop(EBX), a.ret()))
+    assert gadget is not None
+    assert gadget.stack_words == 2
+    assert gadget.kind.op == GadgetOp.OTHER  # multi-op body
+
+def test_usable_flag():
+    assert classify_snippet(lambda a: (a.pop(EAX), a.ret())).usable
+    assert not classify_snippet(lambda a: (a.push(EAX), a.ret())).usable

@@ -1,0 +1,35 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("wget", "gcc", "lame"):
+        assert name in out
+
+
+def test_run_gzip(capsys):
+    assert main(["run", "gzip"]) == 0
+    out = capsys.readouterr().out
+    assert "exit" in out and "cycles" in out
+
+
+def test_run_with_debugger_refused(capsys):
+    # wget refuses to run under a debugger (exit 99, still a clean exit)
+    assert main(["run", "wget", "--debugger"]) == 0
+    assert "99" in capsys.readouterr().out
+
+
+def test_analyze(capsys):
+    assert main(["analyze", "gzip"]) == 0
+    out = capsys.readouterr().out
+    assert "near-ret%" in out and "gzip" in out
+
+
+def test_unknown_program_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "notaprogram"])

@@ -1,0 +1,21 @@
+"""Every shipped example must run clean."""
+
+import pytest
+
+from examples import (
+    probabilistic_chains,
+    ptrace_detector,
+    quickstart,
+    software_crack_defense,
+)
+
+
+@pytest.mark.parametrize(
+    "module",
+    [quickstart, ptrace_detector, software_crack_defense, probabilistic_chains],
+    ids=lambda m: m.__name__.split(".")[-1],
+)
+def test_example_main(module, capsys):
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip()

@@ -1,0 +1,54 @@
+"""The §IV-A running example, as shipped in examples/ptrace_detector.py."""
+
+import pytest
+
+from examples import ptrace_detector as demo
+from repro.emu import run_image
+
+
+@pytest.fixture(scope="module")
+def protected():
+    image, js_addr, mov_addr = demo.build_detector_image()
+    return demo.protect(image, js_addr, mov_addr), js_addr, mov_addr
+
+
+def test_layout_places_ret_in_branch_offset():
+    image, js_addr, _ = demo.build_detector_image()
+    assert image.read(js_addr + 1, 1) == b"\xc3"
+
+
+def test_pristine_behaviour(protected):
+    image, _, _ = protected
+    assert run_image(image).exit_status == 42
+    assert run_image(image, debugger_attached=True).exit_status == 99
+
+
+def test_listing2_nop_attack_detected(protected):
+    image, js_addr, _ = protected
+    tampered = demo.crack_listing2(image, js_addr)
+    # the crack does bypass the ptrace check...
+    run = run_image(tampered, debugger_attached=True)
+    assert run.exit_status != 99
+    # ...but the program no longer works (chain corrupted)
+    assert run.crashed or run.exit_status != 42
+
+
+def test_immediate_rewrite_attack_detected(protected):
+    image, js_addr, mov_addr = protected
+    tampered = demo.crack_immediate(image, js_addr, mov_addr)
+    run = run_image(tampered, debugger_attached=True)
+    assert run.crashed or run.exit_status not in (42, 99)
+
+
+def test_protection_does_not_slow_protected_code(protected):
+    """The paper's key performance property: the detector itself runs at
+    native speed; only the verification chain pays."""
+    pristine, _, _ = demo.build_detector_image()
+    from repro.emu import Emulator
+
+    native = Emulator(pristine, max_steps=10_000)
+    native.call_function(pristine.symbols["check_ptrace"].vaddr)
+    protected_img, _, _ = protected
+    prot = Emulator(protected_img, max_steps=10_000)
+    prot.call_function(protected_img.symbols["check_ptrace"].vaddr)
+    assert prot.cycles == native.cycles

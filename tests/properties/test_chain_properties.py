@@ -1,0 +1,72 @@
+"""Property: random straight-line IR -> ROP chain == interpreter."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.binary import BinaryImage, Perm, Section
+from repro.core.stubs import build_loader_stub
+from repro.emu import Emulator
+from repro.gadgets import GadgetCatalog
+from repro.ropc import RopCompiler, emit_standard_gadgets, ir
+from repro.ropc.interpreter import Interpreter
+from repro.x86 import EAX, EBX, ECX, EDX
+
+REGS = (EAX, EBX, ECX, EDX)
+FRAME, RESUME, CHAIN, GADGETS, STUB = (
+    0x8090000, 0x8090004, 0x8091000, 0x8060000, 0x8070000,
+)
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("const"), st.sampled_from(REGS), st.integers(0, 0xFFFFFFFF)),
+        st.tuples(st.just("mov"), st.sampled_from(REGS), st.sampled_from(REGS)),
+        st.tuples(
+            st.just("binop"),
+            st.sampled_from(["add", "sub", "xor", "and", "or", "mul"]),
+            st.sampled_from(REGS),
+            st.sampled_from(REGS),
+        ),
+        st.tuples(st.just("shift"), st.sampled_from(["shl", "shr", "sar"]),
+                  st.sampled_from(REGS), st.integers(0, 31)),
+        st.tuples(st.just("unop"), st.sampled_from(["neg", "not"]), st.sampled_from(REGS)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_function(spec):
+    f = ir.IRFunction("f", params=1)
+    f.emit(ir.Param(EBX, 0))
+    for op in spec:
+        if op[0] == "const":
+            f.emit(ir.Const(op[1], op[2]))
+        elif op[0] == "mov":
+            f.emit(ir.Mov(op[1], op[2]))
+        elif op[0] == "binop":
+            f.emit(ir.BinOp(op[1], op[2], op[3]))
+        elif op[0] == "shift":
+            f.emit(ir.Shift(op[1], op[2], op[3]))
+        elif op[0] == "unop":
+            f.emit(ir.Neg(op[2]) if op[1] == "neg" else ir.Not(op[2]))
+    f.emit(ir.Ret())
+    return f
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops_strategy, st.integers(0, 0xFFFFFFFF))
+def test_chain_equals_interpreter(spec, arg):
+    function = build_function(spec)
+    expected = Interpreter().run(function, [arg])
+
+    chain = RopCompiler(FRAME, RESUME).compile(function)
+    gcode, gadgets = emit_standard_gadgets(chain.required_kinds(), base=GADGETS)
+    payload = chain.resolve(GadgetCatalog(gadgets)).to_bytes(CHAIN)
+    stub = build_loader_stub(STUB, FRAME, RESUME, CHAIN)
+
+    img = BinaryImage("t")
+    img.add_section(Section(".gadgets", GADGETS, gcode, Perm.RX))
+    img.add_section(Section(".stub", STUB, stub.code, Perm.RX))
+    img.add_section(Section(".ropdata", 0x8090000, bytes(64), Perm.RW))
+    img.add_section(Section(".ropchains", CHAIN, payload, Perm.RW))
+    emu = Emulator(img, max_steps=200_000)
+    assert emu.call_function(STUB, [arg]) == expected

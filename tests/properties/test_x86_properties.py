@@ -1,0 +1,53 @@
+"""Property-based tests on the ISA substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.x86 import (
+    DecodeError, GP32, Imm, decode, assemble, to_signed, to_unsigned,
+)
+
+regs32 = st.sampled_from([r for r in GP32 if r.name != "esp"])
+
+
+@given(st.integers(0, 0xFFFFFFFF), st.sampled_from([8, 16, 32]))
+def test_signed_unsigned_roundtrip(value, width):
+    value &= (1 << width) - 1
+    assert to_unsigned(to_signed(value, width), width) == value
+
+
+@given(regs32, st.integers(0, 0xFFFFFFFF))
+def test_mov_imm_roundtrip(reg, value):
+    encoded = assemble("mov", reg, Imm(value, 32))
+    insn = decode(encoded, 0)
+    assert insn.mnemonic == "mov"
+    assert insn.operands[0] is reg
+    assert insn.operands[1].value == value
+
+
+@given(regs32, regs32, st.sampled_from(["add", "sub", "xor", "and", "or", "cmp"]))
+def test_arith_rr_roundtrip(dst, src, mnemonic):
+    encoded = assemble(mnemonic, dst, src)
+    insn = decode(encoded, 0)
+    assert insn.mnemonic == mnemonic
+    assert insn.operands == (dst, src)
+
+
+@settings(max_examples=300)
+@given(st.binary(min_size=1, max_size=16))
+def test_decoder_never_crashes(data):
+    """Arbitrary bytes either decode or raise DecodeError — nothing else."""
+    try:
+        insn = decode(data, 0)
+    except DecodeError:
+        return
+    assert 1 <= insn.length <= len(data)
+
+
+@settings(max_examples=100)
+@given(st.binary(min_size=1, max_size=40))
+def test_gadget_finder_total(data):
+    """The finder terminates and returns well-formed gadgets on noise."""
+    from repro.gadgets import find_gadgets_in_bytes
+    for gadget in find_gadgets_in_bytes(bytes(data), base=0):
+        assert gadget.instructions[-1].is_return
+        assert gadget.length >= 1

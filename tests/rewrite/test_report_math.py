@@ -1,0 +1,27 @@
+"""Protectability report arithmetic."""
+
+from repro.rewrite import ProtectabilityReport, RULE_IMM, RULE_NEAR, format_fig6_table
+
+
+def test_percentages_and_union():
+    report = ProtectabilityReport("demo", total_code_bytes=100)
+    report.rule(RULE_NEAR).add_span(range(0, 10))
+    report.rule(RULE_IMM).add_span(range(5, 30))
+    assert report.percent(RULE_NEAR) == 10.0
+    assert report.percent(RULE_IMM) == 25.0
+    assert report.percent_any() == 30.0  # union, not sum (paper's note)
+
+
+def test_empty_report():
+    report = ProtectabilityReport("empty", total_code_bytes=0)
+    assert report.percent(RULE_NEAR) == 0.0
+    assert report.percent_any() == 0.0
+
+
+def test_table_formatting():
+    report = ProtectabilityReport("demo", total_code_bytes=100)
+    report.rule(RULE_NEAR).add_span(range(0, 5))
+    table = format_fig6_table([report])
+    assert "demo" in table
+    assert "average" in table
+    assert "5.0" in table

@@ -1,0 +1,185 @@
+"""IR -> ROP chain compilation, executed in the emulator."""
+
+import pytest
+
+from repro.binary import BinaryImage, Perm, Section
+from repro.core.stubs import build_loader_stub
+from repro.emu import Emulator, EmulationError
+from repro.gadgets import GadgetCatalog
+from repro.ropc import RopCompileError, RopCompiler, emit_standard_gadgets, ir
+from repro.ropc.chain import MissingGadget
+from repro.ropc.interpreter import Interpreter, IRMemory
+from repro.x86 import EAX, EBX, ECX, EDX, ESI
+
+FRAME, RESUME, CHAIN, GADGETS, STUB, DATA = (
+    0x8090000, 0x8090004, 0x8091000, 0x8060000, 0x8070000, 0x8092000,
+)
+
+
+def run_as_chain(function, args, blobs=(), rng=None):
+    compiler = RopCompiler(FRAME, RESUME)
+    chain = compiler.compile(function)
+    gcode, gadgets = emit_standard_gadgets(chain.required_kinds(), base=GADGETS)
+    catalog = GadgetCatalog(gadgets)
+    resolved = chain.resolve(catalog, rng=rng)
+    payload = resolved.to_bytes(CHAIN)
+    stub = build_loader_stub(STUB, FRAME, RESUME, CHAIN)
+
+    img = BinaryImage("t")
+    img.add_section(Section(".gadgets", GADGETS, gcode, Perm.RX))
+    img.add_section(Section(".stub", STUB, stub.code, Perm.RX))
+    img.add_section(Section(".ropdata", 0x8090000, bytes(64), Perm.RW))
+    img.add_section(Section(".ropchains", CHAIN, payload, Perm.RW))
+    img.add_section(Section(".data", DATA, bytes(0x1000), Perm.RW))
+    emu = Emulator(img, max_steps=1_000_000)
+    for addr, data in blobs:
+        emu.memory.write(addr, data)
+    return emu.call_function(STUB, args)
+
+
+def reference(function, args, blobs=()):
+    mem = IRMemory()
+    for addr, data in blobs:
+        mem.load_blob(addr, data)
+    return Interpreter({}, mem).run(function, args)
+
+
+def test_straight_line_arith():
+    f = ir.IRFunction("f", params=2)
+    f.emit(ir.Param(EBX, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Mov(EAX, EBX))
+    f.emit(ir.BinOp("mul", EAX, ECX))
+    f.emit(ir.AddConst(EAX, 100))
+    f.emit(ir.Neg(EAX))
+    f.emit(ir.Not(EAX))
+    f.emit(ir.Shift("shl", EAX, 2))
+    f.emit(ir.Ret())
+    assert run_as_chain(f, [6, 7]) == reference(f, [6, 7])
+
+
+@pytest.mark.parametrize("cond", list(ir.CONDITIONS))
+def test_all_branch_conditions(cond):
+    f = ir.IRFunction("f", params=2)
+    f.emit(ir.Param(EBX, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Branch(cond, EBX, ECX, "taken"))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Ret())
+    f.emit(ir.Label("taken"))
+    f.emit(ir.Const(EAX, 1))
+    f.emit(ir.Ret())
+    for a, b in [(1, 2), (2, 1), (5, 5), (0x80000000, 1), (1, 0x80000000)]:
+        assert run_as_chain(f, [a, b]) == reference(f, [a, b]), (cond, a, b)
+
+
+def test_loop_with_memory():
+    f = ir.IRFunction("sumbuf", params=2)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Param(ECX, 1))
+    f.emit(ir.Const(EAX, 0))
+    f.emit(ir.Label("loop"))
+    f.emit(ir.Branch("eq", ECX, 0, "done"))
+    f.emit(ir.Load(EDX, ESI, 0))
+    f.emit(ir.BinOp("add", EAX, EDX))
+    f.emit(ir.AddConst(ESI, 4))
+    f.emit(ir.AddConst(ECX, 0xFFFFFFFF))
+    f.emit(ir.Jump("loop"))
+    f.emit(ir.Label("done"))
+    f.emit(ir.Store(ESI, EAX, 0))  # esi points past the buffer now
+    f.emit(ir.Ret())
+    blob = b"".join(i.to_bytes(4, "little") for i in (10, 20, 30))
+    assert run_as_chain(f, [DATA, 3], [(DATA, blob)]) == 60
+
+
+def test_syscall_in_chain():
+    """ptrace inside a chain: the non-deterministic case OH cannot do."""
+    from repro.corpus import builders
+    f = builders.ptrace_detect()
+    assert run_as_chain(f, []) == 1  # no debugger
+
+
+def test_non_leaf_rejected():
+    f = ir.IRFunction("caller", 0)
+    f.emit(ir.Call(EAX, "other"))
+    f.emit(ir.Ret())
+    with pytest.raises(RopCompileError):
+        RopCompiler(FRAME, RESUME).compile(f)
+
+
+def test_byte_ops_rejected():
+    f = ir.IRFunction("bytes", 1)
+    f.emit(ir.Param(ESI, 0))
+    f.emit(ir.Load8(EAX, ESI, 0))
+    f.emit(ir.Ret())
+    with pytest.raises(RopCompileError):
+        RopCompiler(FRAME, RESUME).compile(f)
+
+
+def test_missing_gadget_raises():
+    f = ir.IRFunction("f", 0)
+    f.emit(ir.Const(EAX, 1))
+    f.emit(ir.Ret())
+    chain = RopCompiler(FRAME, RESUME).compile(f)
+    with pytest.raises(MissingGadget):
+        chain.resolve(GadgetCatalog([]))
+
+
+def test_probabilistic_resolution_varies():
+    import random
+    f = ir.IRFunction("f", 0)
+    f.emit(ir.Const(EAX, 7))
+    f.emit(ir.Ret())
+    chain = RopCompiler(FRAME, RESUME).compile(f)
+    kinds = chain.required_kinds()
+    # two copies of every gadget -> sampling can differ
+    code1, g1 = emit_standard_gadgets(kinds, base=GADGETS)
+    code2, g2 = emit_standard_gadgets(kinds, base=GADGETS + 0x100)
+    catalog = GadgetCatalog(g1 + g2)
+    rng = random.Random(7)
+    payloads = {
+        chain.resolve(catalog, rng=rng, fixed_shape=True).to_bytes(CHAIN)
+        for _ in range(8)
+    }
+    assert len(payloads) > 1
+
+
+def test_far_gadget_pad_layout():
+    """A far LOAD_CONST still chains correctly (pad after next address)."""
+    from repro.gadgets import find_gadgets_in_bytes
+    from repro.x86 import Assembler
+    a = Assembler(base=GADGETS)
+    a.pop(EBX); a.retf()          # far load_const for ebx
+    a.pop(EAX); a.ret()
+    a.mov(ESI, EAX); a.ret()      # unrelated fill
+    gcode = a.assemble()
+
+    f = ir.IRFunction("f", 0)
+    f.emit(ir.Const(EBX, 5))
+    f.emit(ir.Const(EAX, 10))
+    f.emit(ir.BinOp("add", EAX, EBX))
+    f.emit(ir.Ret())
+    compiler = RopCompiler(FRAME, RESUME)
+    chain = compiler.compile(f)
+    found = find_gadgets_in_bytes(gcode, base=GADGETS)
+    extra_kinds = [k for k in chain.required_kinds()]
+    gcode2, gadgets2 = emit_standard_gadgets(extra_kinds, base=GADGETS + 0x100)
+    catalog = GadgetCatalog(found + gadgets2)
+    # force the far gadget for ebx by preferring it
+    catalog.mark_preferred(GADGETS)
+    resolved = chain.resolve(catalog)
+    assert any(
+        item.gadget.far
+        for item in resolved.items
+        if hasattr(item, "gadget") and item.gadget is not None
+    )
+    payload = resolved.to_bytes(CHAIN)
+    stub = build_loader_stub(STUB, FRAME, RESUME, CHAIN)
+    img = BinaryImage("t")
+    img.add_section(Section(".g1", GADGETS, gcode, Perm.RX))
+    img.add_section(Section(".g2", GADGETS + 0x100, gcode2, Perm.RX))
+    img.add_section(Section(".stub", STUB, stub.code, Perm.RX))
+    img.add_section(Section(".ropdata", 0x8090000, bytes(64), Perm.RW))
+    img.add_section(Section(".ropchains", CHAIN, payload, Perm.RW))
+    emu = Emulator(img, max_steps=100_000)
+    assert emu.call_function(STUB, []) == 15

@@ -1,0 +1,134 @@
+"""IR interpreter vs Python reference semantics for the builder library."""
+
+import pytest
+
+from repro.corpus import builders
+from repro.ropc.interpreter import Interpreter, InterpreterError, IRMemory
+
+
+def run(function, args, mem=None, functions=None, syscall=None):
+    interp = Interpreter(functions or {}, mem or IRMemory(), syscall_handler=syscall)
+    return interp.run(function, args)
+
+
+def test_mix32_matches_xorshift():
+    from repro.crypto import xorshift32
+    f = builders.mix32()
+    for x in (1, 0xDEADBEEF, 12345):
+        assert run(f, [x]) == xorshift32(x)
+
+
+def test_checksum_words():
+    mem = IRMemory()
+    words = [10, 20, 30, 40]
+    for i, w in enumerate(words):
+        mem.write32(0x1000 + 4 * i, w)
+    acc = 0x811C9DC5
+    for w in words:
+        acc ^= w
+        acc = (acc + ((acc << 7) & 0xFFFFFFFF)) & 0xFFFFFFFF
+    assert run(builders.checksum_words(), [0x1000, 4], mem) == acc
+
+
+def test_strlen8_and_find_byte():
+    mem = IRMemory()
+    mem.load_blob(0x2000, b"hello\x00")
+    assert run(builders.strlen8(), [0x2000], mem) == 5
+    assert run(builders.find_byte(), [0x2000, 6, ord("l")], mem) == 2
+    assert run(builders.find_byte(), [0x2000, 6, ord("z")], mem) == 0xFFFFFFFF
+
+
+def test_parse_uint():
+    mem = IRMemory()
+    mem.load_blob(0x100, b"2048x")
+    assert run(builders.parse_uint(), [0x100, 5], mem) == 2048
+
+
+def test_sort_words_sorts_signed():
+    mem = IRMemory()
+    values = [5, -3 & 0xFFFFFFFF, 100, 0, -50 & 0xFFFFFFFF, 7]
+    for i, v in enumerate(values):
+        mem.write32(0x3000 + 4 * i, v)
+    run(builders.sort_words(), [0x3000, len(values)], mem)
+    out = [mem.read32(0x3000 + 4 * i) for i in range(len(values))]
+    signed = [v - (1 << 32) if v >= 1 << 31 else v for v in out]
+    assert signed == sorted(signed)
+
+
+def test_rle_encode_roundtrip_structure():
+    mem = IRMemory()
+    mem.load_blob(0x4000, b"aaabbc")
+    end = run(builders.rle_encode(), [0x4000, 6, 0x5000], mem)
+    out = mem.read_blob(0x5000, end - 0x5000)
+    assert out == bytes([3, ord("a"), 2, ord("b"), 1, ord("c")])
+
+
+def test_quantize_clips():
+    f = builders.quantize()
+    assert run(f, [1 << 20, 1024, 0]) == 32767          # clipped high
+    big_negative = (-(1 << 20)) & 0xFFFFFFFF
+    assert run(f, [big_negative, 1024, 0]) == 0xFFFF8000  # clipped low
+
+
+def test_abs32():
+    f = builders.abs32()
+    assert run(f, [5]) == 5
+    assert run(f, [(-5) & 0xFFFFFFFF]) == 5
+
+
+def test_popcount_and_bit_reverse():
+    assert run(builders.popcount(), [0xF0F0]) == 8
+    assert run(builders.bit_reverse(), [0x80000000]) == 1
+    assert run(builders.bit_reverse(), [1]) == 0x80000000
+
+
+def test_token_kind_classes():
+    f = builders.token_kind()
+    assert run(f, [ord(" ")]) == 0
+    assert run(f, [ord("7")]) == 1
+    assert run(f, [ord("a")]) == 2
+    assert run(f, [ord("Z")]) == 2
+    assert run(f, [ord("+")]) == 3
+    assert run(f, [5]) == 4
+
+
+def test_sym_table_insert_find():
+    mem = IRMemory()
+    functions = {"sym_insert": builders.sym_insert(), "sym_find": builders.sym_find()}
+    interp = Interpreter(functions, mem)
+    interp.run(functions["sym_insert"], [0x6000, 0x1234, 99])
+    interp.run(functions["sym_insert"], [0x6000, 0x1234 + 64, 77])  # collision
+    assert interp.run(functions["sym_find"], [0x6000, 0x1234]) == 99
+    assert interp.run(functions["sym_find"], [0x6000, 0x1234 + 64]) == 77
+    assert interp.run(functions["sym_find"], [0x6000, 0x9999]) == 0
+
+
+def test_rpn_eval():
+    mem = IRMemory()
+    # (5 9 +) (3 *) = 42 ; tokens: values are (x<<3)|7
+    tokens = [(5 << 3) | 7, (9 << 3) | 7, 1, (3 << 3) | 7, 3]
+    for i, t in enumerate(tokens):
+        mem.write32(0x7000 + 4 * i, t)
+    assert run(builders.rpn_eval(), [0x7000, len(tokens), 0x7800], mem) == 42
+
+
+def test_ptrace_detect_depends_on_debugger():
+    f = builders.ptrace_detect()
+    def make_handler(traced):
+        def handler(regs, mem):
+            assert regs["eax"] == 26
+            return 0xFFFFFFFF if traced else 0
+        return handler
+    assert run(f, [], syscall=make_handler(False)) == 1
+    assert run(f, [], syscall=make_handler(True)) == 0
+
+
+def test_infinite_loop_guard():
+    from repro.ropc import ir
+    from repro.x86 import EAX
+    f = ir.IRFunction("spin", 0)
+    f.emit(ir.Label("x"))
+    f.emit(ir.Jump("x"))
+    f.emit(ir.Ret())
+    with pytest.raises(InterpreterError):
+        Interpreter(max_ops=1000).run(f, [])

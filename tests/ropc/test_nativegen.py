@@ -1,0 +1,94 @@
+"""Native backend vs interpreter on the whole builder library."""
+
+import pytest
+
+from repro.binary import BinaryImage, Perm, Section
+from repro.corpus import builders
+from repro.emu import Emulator
+from repro.ropc import compile_functions
+from repro.ropc.interpreter import Interpreter, IRMemory
+
+DATA = 0x8090000
+
+
+def native_call(functions, name, args, blobs=()):
+    code, spans, _ = compile_functions(functions, base=0x8048000, entry_main=None)
+    img = BinaryImage("t")
+    img.add_section(Section(".text", 0x8048000, code, Perm.RX))
+    img.add_section(Section(".data", DATA, bytes(0x4000), Perm.RW))
+    emu = Emulator(img, max_steps=2_000_000)
+    for addr, data in blobs:
+        emu.memory.write(addr, data)
+    start = 0x8048000 + spans[name][0]
+    return emu.call_function(start, args), emu
+
+
+def interp_call(functions, name, args, blobs=()):
+    mem = IRMemory()
+    for addr, data in blobs:
+        mem.load_blob(addr, data)
+    table = {f.name: f for f in functions}
+    return Interpreter(table, mem).run(table[name], args)
+
+
+@pytest.mark.parametrize(
+    "builder,args,blobs",
+    [
+        (builders.mix32, [0xDEADBEEF], []),
+        (builders.checksum_words, [DATA + 0x100, 8], [(DATA + 0x100, bytes(range(32)))]),
+        (builders.adler_words, [DATA + 0x100, 8], [(DATA + 0x100, bytes(range(32)))]),
+        (builders.crc_step, [0xFFFFFFFF, 0xA5], []),
+        (builders.hash_string, [DATA + 0x200, 10], [(DATA + 0x200, b"hello there")]),
+        (builders.parse_uint, [DATA + 0x200, 4], [(DATA + 0x200, b"1234")]),
+        (builders.popcount, [0x12345678], []),
+        (builders.bit_reverse, [0x12345678], []),
+        (builders.abs32, [(-123) & 0xFFFFFFFF], []),
+        (builders.quantize, [5000, 700, 16], []),
+        (builders.clip, [500, 0, 100], []),
+        (builders.range_sum, [1, 100], []),
+        (builders.lz_match_len, [DATA + 0x300, DATA + 0x310, 8],
+         [(DATA + 0x300, b"abcabcab"), (DATA + 0x310, b"abcxbcab")]),
+        (builders.token_kind, [ord("q")], []),
+    ],
+    ids=lambda v: getattr(v, "__name__", ""),
+)
+def test_native_matches_interpreter(builder, args, blobs):
+    function = builder()
+    native, _ = native_call([function], function.name, args, blobs)
+    reference = interp_call([function], function.name, args, blobs)
+    assert native == reference
+
+
+def test_calls_and_callee_saved_regs():
+    from repro.ropc import ir
+    from repro.x86 import EAX, EBX, ESI
+    callee = builders.mix32()
+    caller = ir.IRFunction("caller", params=1)
+    caller.emit(ir.Param(ESI, 0))
+    caller.emit(ir.Mov(EBX, ESI))
+    caller.emit(ir.Call(EAX, "mix32", (EBX,)))
+    caller.emit(ir.BinOp("add", EAX, ESI))   # esi must have survived
+    caller.emit(ir.Ret())
+    native, _ = native_call([callee, caller], "caller", [7])
+    assert native == interp_call([callee, caller], "caller", [7])
+
+
+def test_digest_functions_native():
+    for spec in (("d1", 8, True, False), ("d2", 0, False, True), ("d3", 4, True, True)):
+        f = builders.make_digest(*spec)
+        native, _ = native_call([f], spec[0], [111, 222, DATA + 0x400])
+        assert native == interp_call([f], spec[0], [111, 222, DATA + 0x400])
+
+
+def test_entry_stub_runs_main():
+    from repro.ropc import ir
+    from repro.x86 import EAX
+    main = ir.IRFunction("main", 0)
+    main.emit(ir.Const(EAX, 42))
+    main.emit(ir.Ret())
+    code, spans, entry = compile_functions([main], base=0x8048000)
+    img = BinaryImage("t")
+    img.add_section(Section(".text", 0x8048000, code, Perm.RX))
+    img.entry = 0x8048000 + entry
+    from repro.emu import run_image
+    assert run_image(img).exit_status == 42

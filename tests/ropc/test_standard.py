@@ -1,0 +1,33 @@
+"""Standard gadget-set emission."""
+
+import pytest
+
+from repro.gadgets import GadgetKind, GadgetOp
+from repro.ropc import StandardGadgetError, emit_standard_gadgets
+from repro.x86 import EAX, EBX, ECX, ESP
+
+
+def test_emits_and_classifies_back():
+    kinds = [
+        GadgetKind(GadgetOp.LOAD_CONST, dst=EAX),
+        GadgetKind(GadgetOp.MOV_REG, dst=EBX, src=EAX),
+        GadgetKind(GadgetOp.BINOP, dst=EAX, src=ECX, subop="xor"),
+        GadgetKind(GadgetOp.LOAD_MEM, dst=EAX, src=EBX, disp=8),
+        GadgetKind(GadgetOp.STORE_MEM, dst=EBX, src=EAX, disp=0),
+        GadgetKind(GadgetOp.SHIFT, dst=EAX, subop="sar", amount=31),
+        GadgetKind(GadgetOp.SBB_SELF, dst=EAX),
+        GadgetKind(GadgetOp.MOV_ESP, src=EAX),
+        GadgetKind(GadgetOp.POP_ESP),
+        GadgetKind(GadgetOp.SYSCALL),
+        GadgetKind(GadgetOp.NOP),
+    ]
+    code, gadgets = emit_standard_gadgets(kinds, base=0x1000)
+    assert len(gadgets) == len(kinds)
+    for kind, gadget in zip(kinds, gadgets):
+        assert gadget.kind == kind
+        assert gadget.provenance == "standard"
+
+
+def test_unsupported_kind_raises():
+    with pytest.raises(StandardGadgetError):
+        emit_standard_gadgets([GadgetKind(GadgetOp.OTHER)], base=0)

@@ -1,0 +1,73 @@
+"""Builder-assembler: labels, fixups, alignment."""
+
+import pytest
+
+from repro.x86 import (
+    Assembler, AssemblerError, EAX, EBX, ECX, Imm, decode_all,
+)
+
+
+def test_forward_and_backward_labels():
+    a = Assembler(base=0x100)
+    a.label("start")
+    a.mov(EAX, 1)
+    a.jmp("end")
+    a.label("mid")
+    a.add(EAX, 1)
+    a.jmp("start")
+    a.label("end")
+    a.je("mid")
+    a.ret()
+    code = a.assemble()
+    insns = decode_all(code, address=0x100)
+    targets = [i.branch_target() for i in insns if i.branch_target() is not None]
+    assert a.address_of("end") in targets
+    assert a.address_of("start") in targets
+    assert a.address_of("mid") in targets
+
+
+def test_duplicate_label_rejected():
+    a = Assembler()
+    a.label("x")
+    with pytest.raises(AssemblerError):
+        a.label("x")
+
+
+def test_undefined_label_rejected():
+    a = Assembler()
+    a.jmp("nowhere")
+    with pytest.raises(AssemblerError):
+        a.assemble()
+
+
+def test_align_pads_with_nops():
+    a = Assembler(base=0)
+    a.ret()
+    a.align(16)
+    assert a.offset == 16
+    assert a.assemble()[1:] == b"\x90" * 15
+
+
+def test_int_coercion_picks_width():
+    a = Assembler()
+    a.add(EAX, 5)          # imm8 form
+    a.add(EBX, 0x12345)    # imm32 form
+    insns = decode_all(a.assemble())
+    assert insns[0].raw[0] == 0x83
+    assert insns[1].raw[0] == 0x81
+
+
+def test_raw_and_pad_to():
+    a = Assembler()
+    a.raw(b"\xc3")
+    a.pad_to(8, fill=0xCC)
+    assert len(a.assemble()) == 8
+
+
+def test_reserved_word_helpers():
+    a = Assembler()
+    a.and_(EAX, EBX)
+    a.or_(EAX, ECX)
+    a.not_(EAX)
+    insns = decode_all(a.assemble())
+    assert [i.mnemonic for i in insns] == ["and", "or", "not"]

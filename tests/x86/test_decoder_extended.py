@@ -1,0 +1,73 @@
+"""Decode-only and prefixed forms added for unaligned-decode density."""
+
+import pytest
+
+from repro.x86 import DecodeError, decode
+
+
+CASES = [
+    (b"\x06", "push"),               # push es
+    (b"\x1f", "pop"),                # pop ds
+    (b"\x62\x08", "bound"),
+    (b"\x63\xc8", "arpl"),
+    (b"\x8c\xc0", "mov_seg"),
+    (b"\x9a\x00\x00\x00\x00\x00\x00", "callf"),
+    (b"\xa0\x44\x33\x22\x11", "mov"),   # mov al, [moffs]
+    (b"\xa3\x44\x33\x22\x11", "mov"),   # mov [moffs], eax
+    (b"\xc4\x00", "les"),
+    (b"\xc8\x10\x00\x02", "enter"),
+    (b"\xcf", "iretd"),
+    (b"\xd4\x0a", "aam"),
+    (b"\xd6", "salc"),
+    (b"\xd9\xc0", "fpu"),
+    (b"\xe0\xfe", "loopne"),
+    (b"\xe3\x05", "jecxz"),
+    (b"\xe4\x60", "in"),
+    (b"\xee", "out"),
+    (b"\xea\x00\x00\x00\x00\x00\x00", "jmpf"),
+    (b"\x0f\x31", "rdtsc"),
+    (b"\x0f\xa2", "cpuid"),
+    (b"\x0f\xa3\xd8", "bt"),
+    (b"\x0f\xa4\xd8\x04", "shld"),
+    (b"\x0f\xc9", "bswap"),
+    (b"\x0f\xb7\xc3", "movzx"),      # movzx r32, r/m16
+]
+
+
+@pytest.mark.parametrize("raw,mnemonic", CASES, ids=lambda v: str(v))
+def test_extended_decode(raw, mnemonic):
+    insn = decode(raw, 0)
+    assert insn.mnemonic == mnemonic
+    assert insn.length == len(raw)
+
+
+def test_loop_family_is_control_flow():
+    insn = decode(b"\xe2\xfe", 0)
+    assert insn.mnemonic == "loop"
+    assert insn.is_control_flow
+
+
+def test_16bit_subset():
+    for raw, mnemonic, value in [
+        (b"\x66\x05\x34\x12", "add", 0x1234),
+        (b"\x66\x81\xc3\x34\x12", "add", 0x1234),
+        (b"\x66\x50", "push", None),
+        (b"\x66\x89\xd8", "mov", None),
+    ]:
+        insn = decode(raw, 0)
+        assert insn.mnemonic == mnemonic
+        if value is not None:
+            assert insn.operands[-1].value == value
+
+
+def test_les_register_form_invalid():
+    with pytest.raises(DecodeError):
+        decode(b"\xc4\xc0", 0)  # mod=3 is VEX territory, rejected
+
+
+def test_segment_prefix_is_transparent():
+    plain = decode(b"\x8b\x03", 0)
+    prefixed = decode(b"\x2e\x8b\x03", 0)
+    assert plain.mnemonic == prefixed.mnemonic == "mov"
+    assert prefixed.length == plain.length + 1
+    assert plain.operands == prefixed.operands

@@ -1,0 +1,45 @@
+"""Operand helpers and representations."""
+
+import pytest
+
+from repro.x86 import (
+    AH, AL, EAX, EBP, ECX, ESP, Imm, Mem, fits_signed, mem32,
+    to_signed, to_unsigned,
+)
+from repro.x86.registers import Register
+
+
+def test_signed_unsigned_conversions():
+    assert to_signed(0xFF, 8) == -1
+    assert to_signed(0x7F, 8) == 127
+    assert to_unsigned(-1, 8) == 0xFF
+    assert to_unsigned(-1, 32) == 0xFFFFFFFF
+    assert fits_signed(127, 8) and not fits_signed(128, 8)
+    assert fits_signed(-128, 8) and not fits_signed(-129, 8)
+
+
+def test_imm_equality_and_width():
+    assert Imm(5, 8) == Imm(5, 8)
+    assert Imm(5, 8) != Imm(5, 32)
+    assert Imm(-1, 8).value == 0xFF
+    assert Imm(-1, 8).signed == -1
+    with pytest.raises(ValueError):
+        Imm(1, 12)
+
+
+def test_mem_validation():
+    with pytest.raises(ValueError):
+        Mem(base=EAX, index=ESP)  # esp cannot index
+    with pytest.raises(ValueError):
+        Mem(base=EAX, index=ECX, scale=3)
+
+
+def test_register_aliasing():
+    assert AL.full() is EAX
+    assert AH.full() is EAX
+    assert Register.by_name("eax") is EAX
+
+
+def test_mem_repr_readable():
+    assert "ebp" in repr(mem32(EBP, disp=8))
+    assert "dword" in repr(mem32(EAX))
