@@ -3,6 +3,7 @@
 from .harness import AttackOutcome, evaluate_patch_attack, score_run
 from .patching import (
     AttackError,
+    corrupt_byte,
     find_branches_in_function,
     force_branch,
     invert_branch,
@@ -20,7 +21,7 @@ from .wurster import evaluate_wurster_attack, run_with_icache_patches
 
 __all__ = [
     "AttackOutcome", "evaluate_patch_attack", "score_run",
-    "AttackError", "find_branches_in_function", "force_branch",
+    "AttackError", "corrupt_byte", "find_branches_in_function", "force_branch",
     "invert_branch", "nop_out", "nop_out_instruction", "stub_out_function",
     "garbage_chain_patch", "reconstruct_function_patch", "wipe_chain_patch",
     "evaluate_restore_attack", "run_with_restore_attack",

@@ -21,6 +21,7 @@ from typing import Iterable, Optional
 from ..binary.image import BinaryImage
 from ..binary.patch import Patch
 from ..emu import RunResult, run_image
+from ..telemetry import get_metrics, get_tracer
 
 
 class AttackOutcome:
@@ -52,20 +53,34 @@ def evaluate_patch_attack(
     ``goal`` is the behaviour the attacker wants to reach (typically the
     pristine no-debugger run).
     """
-    tampered = image.clone()
-    for patch in patches:
-        patch.apply(tampered)
-    run = run_image(
-        tampered, debugger_attached=debugger_attached, max_steps=max_steps
-    )
-    return score_run(attack_name, run, goal)
+    patches = list(patches)
+    with get_tracer().span(
+        "evaluate_attack", attack=attack_name, patches=len(patches)
+    ) as span:
+        tampered = image.clone()
+        for patch in patches:
+            patch.apply(tampered)
+        run = run_image(
+            tampered, debugger_attached=debugger_attached, max_steps=max_steps
+        )
+        outcome = score_run(attack_name, run, goal)
+        span.set_attribute("detected", outcome.detected)
+        span.set_attribute("reason", outcome.reason)
+        return outcome
 
 
 def score_run(attack_name: str, run: RunResult, goal: RunResult) -> AttackOutcome:
     if run.crashed:
-        return AttackOutcome(attack_name, True, f"crash: {run.fault}", run)
-    if run.stdout != goal.stdout:
-        return AttackOutcome(attack_name, True, "stdout diverged", run)
-    if run.exit_status != goal.exit_status:
-        return AttackOutcome(attack_name, True, "exit status diverged", run)
-    return AttackOutcome(attack_name, False, "attacker goal reached", run)
+        outcome = AttackOutcome(attack_name, True, f"crash: {run.fault}", run)
+    elif run.stdout != goal.stdout:
+        outcome = AttackOutcome(attack_name, True, "stdout diverged", run)
+    elif run.exit_status != goal.exit_status:
+        outcome = AttackOutcome(attack_name, True, "exit status diverged", run)
+    else:
+        outcome = AttackOutcome(attack_name, False, "attacker goal reached", run)
+    metrics = get_metrics()
+    metrics.counter("attacks.evaluated").inc()
+    metrics.counter(
+        "attacks.detected" if outcome.detected else "attacks.undetected"
+    ).inc()
+    return outcome

@@ -20,6 +20,13 @@ class AttackError(Exception):
     pass
 
 
+def corrupt_byte(image: BinaryImage, vaddr: int, mask: int = 0xFF) -> Patch:
+    """Flip bits of a single code byte — the minimal integrity violation
+    used to destroy one gadget of a verification chain."""
+    old = image.read(vaddr, 1)
+    return Patch(vaddr, old, bytes([old[0] ^ mask]), reason="corrupt_byte")
+
+
 def nop_out(image: BinaryImage, vaddr: int, length: int) -> Patch:
     """Overwrite ``length`` bytes with nops — Listing 2's attack on the
     jump to cleanup_and_exit."""

@@ -5,20 +5,61 @@ Commands:
 * ``list``                      — corpus programs and their stats;
 * ``run PROGRAM``               — execute a corpus program;
 * ``protect PROGRAM``           — protect and re-run it, print report;
+* ``profile PROGRAM``           — per-function cycle attribution table;
 * ``analyze PROGRAM``           — Fig. 6 protectability for one program;
 * ``fig6``                      — the full Fig. 6 table;
 * ``attack PROGRAM``            — static + Wurster tamper demo.
+
+Observability: ``--metrics FILE`` and ``--trace FILE`` on the heavier
+commands enable the process-wide telemetry layer and export a metrics
+JSON / span JSONL on exit (``-`` writes metrics to stdout).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 
-from .binary import Patch
+from . import telemetry
 from .core import Parallax, ProtectConfig, STRATEGIES
 from .corpus import PROGRAM_NAMES, build_program
 from .rewrite import RewriteEngine, format_fig6_table
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="export a metrics JSON on exit ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="export structured spans as JSONL on exit ('-' for stdout)",
+    )
+
+
+@contextlib.contextmanager
+def _telemetry_from_args(args):
+    """Enable telemetry per ``--metrics``/``--trace`` and export on exit."""
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    if metrics_path is None and trace_path is None:
+        yield
+        return
+    with telemetry.telemetry_session(
+        metrics=metrics_path is not None, tracing=trace_path is not None
+    ) as (metrics, tracer):
+        yield
+        if trace_path == "-":
+            for event in tracer.to_events():
+                print(json.dumps(event))
+        elif trace_path is not None:
+            tracer.write_jsonl(trace_path)
+        if metrics_path == "-":
+            print(metrics.to_json())
+        elif metrics_path is not None:
+            metrics.write_json(metrics_path)
 
 
 def _cmd_list(_args) -> int:
@@ -46,13 +87,37 @@ def _cmd_protect(args) -> int:
     baseline = program.run()
     config = ProtectConfig(strategy=args.strategy, guard_chains=args.guard_chains)
     protected = Parallax(config).protect(program)
-    print(protected.report.summary())
     result = protected.run()
-    if result.crashed or result.stdout != baseline.stdout:
-        print("ERROR: protected program diverged from baseline")
-        return 1
+    diverged = result.crashed or result.stdout != baseline.stdout
     overhead = 100 * (result.cycles / baseline.cycles - 1)
-    print(f"\nbehaviour preserved; whole-program overhead {overhead:.2f}%")
+    if args.json:
+        payload = protected.report.to_dict()
+        payload["behaviour_preserved"] = not diverged
+        payload["overhead_percent"] = round(overhead, 4)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(protected.report.summary())
+    if diverged:
+        if not args.json:
+            print("ERROR: protected program diverged from baseline")
+        return 1
+    if not args.json:
+        print(f"\nbehaviour preserved; whole-program overhead {overhead:.2f}%")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .emu import profile_run
+
+    program = build_program(args.program)
+    result, profiler = profile_run(
+        program.image, debugger_attached=args.debugger
+    )
+    print(profiler.report())
+    print(f"\ntotal: {result.steps:,} instructions, {result.cycles:,} cycles")
+    if result.crashed:
+        print(f"FAULT  : {result.fault}")
+        return 1
     return 0
 
 
@@ -74,6 +139,7 @@ def _cmd_fig6(_args) -> int:
 
 def _cmd_attack(args) -> int:
     from .attacks import evaluate_patch_attack, evaluate_wurster_attack
+    from .attacks.patching import corrupt_byte
 
     program = build_program(args.program)
     goal = program.run()
@@ -85,8 +151,7 @@ def _cmd_attack(args) -> int:
         for addr in protected.report.chains[0].gadget_addresses
         if image.section_at(addr).name == ".text"
     )
-    old = image.read(target, 1)
-    patch = Patch(target, old, bytes([old[0] ^ 0xFF]))
+    patch = corrupt_byte(image, target)
     print(f"tampering one byte of a chain gadget at {target:#x}")
     static = evaluate_patch_attack(image, [patch], goal, "static")
     wurster = evaluate_wurster_attack(image, [patch], goal, "wurster")
@@ -112,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("program", choices=PROGRAM_NAMES)
     p_run.add_argument("--debugger", action="store_true",
                        help="attach the (simulated) debugger")
+    _add_telemetry_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_protect = sub.add_parser("protect", help="protect a program and re-run it")
@@ -119,7 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_protect.add_argument("--strategy", choices=STRATEGIES, default="cleartext")
     p_protect.add_argument("--guard-chains", action="store_true",
                            help="enable the §VI-C chain-guard network")
+    p_protect.add_argument("--json", action="store_true",
+                           help="print the protection report as JSON")
+    _add_telemetry_args(p_protect)
     p_protect.set_defaults(func=_cmd_protect)
+
+    p_profile = sub.add_parser(
+        "profile", help="per-function cycle attribution for one run"
+    )
+    p_profile.add_argument("program", choices=PROGRAM_NAMES)
+    p_profile.add_argument("--debugger", action="store_true",
+                           help="attach the (simulated) debugger")
+    _add_telemetry_args(p_profile)
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_analyze = sub.add_parser("analyze", help="Fig. 6 protectability for one program")
     p_analyze.add_argument("program", choices=PROGRAM_NAMES)
@@ -130,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack = sub.add_parser("attack", help="tamper demo on a protected program")
     p_attack.add_argument("program", choices=PROGRAM_NAMES)
     p_attack.add_argument("--strategy", choices=STRATEGIES, default="cleartext")
+    _add_telemetry_args(p_attack)
     p_attack.set_defaults(func=_cmd_attack)
 
     return parser
@@ -137,7 +216,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    with _telemetry_from_args(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from .config import (
     STRATEGY_RC4,
     STRATEGY_XOR,
 )
+from ..telemetry import get_metrics, get_tracer
 from .report import ChainRecord, ProtectionReport
 from .selection import select_verification_function
 from .stubs import build_loader_stub
@@ -108,7 +109,18 @@ class Parallax:
     # ------------------------------------------------------------------
 
     def protect(self, program: Program) -> ProtectedProgram:
+        with get_tracer().span(
+            "protect", program=program.name, strategy=self.config.strategy
+        ) as span:
+            protected = self._protect(program)
+            span.set_attribute("chains", len(protected.report.chains))
+            return protected
+
+    def _protect(self, program: Program) -> ProtectedProgram:
         config = self.config
+        metrics = get_metrics()
+        tracer = get_tracer()
+        metrics.counter("protect.runs").inc()
         image = program.image.clone()
         report = ProtectionReport(program.name, config.strategy)
         rng = random.Random(config.seed)
@@ -144,6 +156,7 @@ class Parallax:
         existing = find_gadgets(image)
         catalog = GadgetCatalog(existing)
         report.existing_gadgets = len(existing)
+        metrics.counter("protect.gadgets_existing").inc(len(existing))
 
         required = {}
         for chain in chains.values():
@@ -164,6 +177,7 @@ class Parallax:
             for gadget in inserted:
                 catalog.add(gadget)
             report.inserted_gadgets = len(inserted)
+            metrics.counter("protect.gadgets_inserted").inc(len(inserted))
 
         protect_addrs = config.protect_addresses
         if protect_addrs is None:
@@ -174,6 +188,8 @@ class Parallax:
             if any(addr in target_bytes for addr in gadget.span()):
                 catalog.mark_preferred(gadget.address)
         report.preferred_gadgets = len(catalog.preferred)
+        metrics.gauge("protect.gadgets_preferred").set(len(catalog.preferred))
+        metrics.gauge("protect.protected_instructions").set(len(protect_addrs))
 
         # -- steps 4-5: strategy-specific serialization + stubs ----------
         chain_area = _Allocator(ROPCHAINS_BASE)
@@ -197,19 +213,27 @@ class Parallax:
             rt_spans = {fname: RT_BASE + start for fname, (start, _end) in spans.items()}
 
         for name in names:
-            record = self._emit_chain(
-                name,
-                chains[name],
-                catalog,
-                rng,
-                chain_area,
-                enc_area,
-                ropdata,
-                rt_spans,
-                stub_addrs[name],
-                stub_specs,
-            )
+            with tracer.span("emit_chain", function=name) as span:
+                record = self._emit_chain(
+                    name,
+                    chains[name],
+                    catalog,
+                    rng,
+                    chain_area,
+                    enc_area,
+                    ropdata,
+                    rt_spans,
+                    stub_addrs[name],
+                    stub_specs,
+                )
+                span.set_attribute("words", record.word_count)
             report.chains.append(record)
+            metrics.counter("protect.chains_emitted").inc()
+            metrics.counter("protect.chain_words_total").inc(record.word_count)
+            metrics.histogram("protect.chain_words").observe(record.word_count)
+            metrics.histogram("protect.chain_overlapping").observe(
+                record.overlapping_used
+            )
 
         # §VI-C chain guards: checksum the (data-resident) chain
         # machinery from every stub.  Computed now, when the guarded

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional
 
 
@@ -35,6 +36,21 @@ class ChainRecord:
         self.overlapping_used = overlapping_used
         self.stub_addr = stub_addr
         self.variants = variants
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "chain_addr": self.chain_addr,
+            "word_count": self.word_count,
+            "gadget_addresses": list(self.gadget_addresses),
+            "distinct_gadgets": len(set(self.gadget_addresses)),
+            "overlapping_used": self.overlapping_used,
+            "stub_addr": self.stub_addr,
+            "variants": self.variants,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
     def __repr__(self) -> str:
         return (
@@ -76,6 +92,21 @@ class ProtectionReport:
             )
         lines.extend(f"  note: {note}" for note in self.notes)
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "strategy": self.strategy,
+            "existing_gadgets": self.existing_gadgets,
+            "inserted_gadgets": self.inserted_gadgets,
+            "preferred_gadgets": self.preferred_gadgets,
+            "protected_instruction_count": self.protected_instruction_count,
+            "chains": [record.to_dict() for record in self.chains],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
     def __repr__(self) -> str:
         return f"<ProtectionReport {self.program} {self.strategy} chains={len(self.chains)}>"

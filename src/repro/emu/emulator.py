@@ -272,15 +272,39 @@ class Emulator:
 
         Faults are captured in the result rather than propagated, so the
         attack harness can score "crash" outcomes uniformly.
+
+        Telemetry is recorded only here, at run end — the per-step hot
+        path carries no instrumentation, so disabled telemetry costs
+        nothing per instruction.
         """
-        fault = None
-        try:
-            while True:
-                self.step()
-        except ExitProgram:
-            pass
-        except EmulationError as exc:
-            fault = exc
+        from ..telemetry import get_metrics, get_tracer
+
+        start_steps = self.steps
+        with get_tracer().span("emulate") as span:
+            fault = None
+            try:
+                while True:
+                    self.step()
+            except ExitProgram:
+                pass
+            except EmulationError as exc:
+                fault = exc
+            metrics = get_metrics()
+            metrics.counter("emu.runs").inc()
+            metrics.counter("emu.instructions").inc(self.steps - start_steps)
+            metrics.counter("emu.cycles").inc(self.cycles)
+            metrics.counter("emu.ret_mispredicts").inc(self.ret_mispredicts)
+            if fault is not None:
+                metrics.counter(
+                    f"emu.faults.{type(fault).__name__}"
+                ).inc()
+            span.set_attribute("steps", self.steps - start_steps)
+            span.set_attribute("cycles", self.cycles)
+            if fault is not None:
+                span.set_attribute("fault", type(fault).__name__)
+                span.set_attribute(
+                    "fault_eip", fault.eip if fault.eip is not None else None
+                )
         return RunResult(
             exit_status=self.os.exit_status,
             steps=self.steps,

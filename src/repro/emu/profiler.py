@@ -69,10 +69,13 @@ class Profiler:
         if insn.mnemonic == "call":
             target = insn.branch_target()
             if target is not None:
+                # Calls into symbol-less code (stubs, inserted sections)
+                # still count — attributed to <unknown> rather than
+                # silently dropped, so call totals match reality.
                 callee = self.image.symbols.at(target)
-                if callee is not None:
-                    self._profile_for(callee.name).calls += 1
-                    self.call_edges[(name, callee.name)] += 1
+                callee_name = callee.name if callee is not None else "<unknown>"
+                self._profile_for(callee_name).calls += 1
+                self.call_edges[(name, callee_name)] += 1
         self._current = name
 
     # ------------------------------------------------------------------
@@ -91,8 +94,8 @@ class Profiler:
         return prof.calls if prof else 0
 
     def callers_of(self, name: str) -> int:
-        """Number of distinct call sites (by caller function) observed."""
-        return sum(1 for (_, callee) in self.call_edges if callee == name)
+        """Number of distinct calling functions observed."""
+        return len({caller for (caller, callee) in self.call_edges if callee == name})
 
     def report(self) -> str:
         lines = [f"{'function':<28} {'calls':>8} {'cycles':>12} {'share':>8}"]
@@ -106,11 +109,16 @@ class Profiler:
         return "\n".join(lines)
 
 
-def profile_run(image: BinaryImage, stdin: bytes = b"", max_steps: int = 5_000_000):
+def profile_run(
+    image: BinaryImage,
+    stdin: bytes = b"",
+    max_steps: int = 5_000_000,
+    debugger_attached: bool = False,
+):
     """Run ``image`` under the profiler; returns (RunResult, Profiler)."""
     from .syscalls import OperatingSystem
 
-    os = OperatingSystem(stdin=stdin)
+    os = OperatingSystem(stdin=stdin, debugger_attached=debugger_attached)
     emulator = Emulator(image, os=os, max_steps=max_steps)
     profiler = Profiler(image)
     profiler.attach(emulator)

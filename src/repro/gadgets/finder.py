@@ -21,6 +21,7 @@ from ..x86.opcodes import (
     RETF_IMM16_OPCODE,
     RETF_OPCODE,
 )
+from ..telemetry import get_metrics, get_tracer
 from .semantics import classify
 from .types import Gadget
 
@@ -81,6 +82,10 @@ def find_gadgets_in_bytes(
     reported per (start, return) pair — nested suffixes of a long gadget
     are separate gadgets, as in real gadget finders.
     """
+    metrics = get_metrics()
+    scanned = metrics.counter("gadgets.offsets_scanned")
+    accepted = metrics.counter("gadgets.accepted")
+    rejected = metrics.counter("gadgets.rejected")
     terminators = _NEAR_RETS + (_FAR_RETS if include_far else ())
     gadgets: List[Gadget] = []
     seen = set()
@@ -91,15 +96,19 @@ def find_gadgets_in_bytes(
         for start in range(ret_pos, lo - 1, -1):
             if start in seen:
                 continue
+            scanned.inc()
             gadget = decode_gadget_at(data, start, base=base, max_insns=max_insns)
             if gadget is None:
+                rejected.inc()
                 continue
             # Only keep it if this decode actually terminates at ret_pos
             # (an earlier return could satisfy a longer window).
             if gadget.end != base + ret_pos + _ret_length(data, ret_pos):
+                rejected.inc()
                 continue
             gadgets.append(gadget)
             seen.add(start)
+    accepted.inc(len(gadgets))
     gadgets.sort(key=lambda g: g.address)
     return gadgets
 
@@ -115,14 +124,16 @@ def find_gadgets(
     include_far: bool = True,
 ) -> List[Gadget]:
     """Find all gadgets in every executable section of ``image``."""
-    gadgets: List[Gadget] = []
-    for section in image.executable_sections():
-        gadgets.extend(
-            find_gadgets_in_bytes(
-                bytes(section.data),
-                base=section.vaddr,
-                max_insns=max_insns,
-                include_far=include_far,
+    with get_tracer().span("find_gadgets", image=image.name) as span:
+        gadgets: List[Gadget] = []
+        for section in image.executable_sections():
+            gadgets.extend(
+                find_gadgets_in_bytes(
+                    bytes(section.data),
+                    base=section.vaddr,
+                    max_insns=max_insns,
+                    include_far=include_far,
+                )
             )
-        )
-    return gadgets
+        span.set_attribute("found", len(gadgets))
+        return gadgets

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from ..binary.image import BinaryImage
 from ..gadgets.catalog import GadgetCatalog
+from ..telemetry import get_metrics, get_tracer
 from .report import ProtectabilityReport, RULE_IMM, RULE_JUMP
 from .rules import (
     ExistingGadgetRule,
@@ -53,13 +54,24 @@ class RewriteEngine:
 
     def analyze(self, image: BinaryImage) -> AnalysisResult:
         """Measure protectability (the Fig. 6 computation)."""
-        report = ProtectabilityReport(image.name, image.code_bytes())
-        result = AnalysisResult(image, report)
-        result.existing_gadgets = self.rule_near.measure(image, report)
-        result.far_gadgets = self.rule_far.measure(image, report)
-        result.immediate_candidates = self.rule_imm.measure(image, report)
-        result.jump_candidates = self.rule_jump.measure(image, report)
-        return result
+        with get_tracer().span("analyze", image=image.name) as span:
+            report = ProtectabilityReport(image.name, image.code_bytes())
+            result = AnalysisResult(image, report)
+            result.existing_gadgets = self.rule_near.measure(image, report)
+            result.far_gadgets = self.rule_far.measure(image, report)
+            result.immediate_candidates = self.rule_imm.measure(image, report)
+            result.jump_candidates = self.rule_jump.measure(image, report)
+            metrics = get_metrics()
+            for rule_name, hits in (
+                ("existing_near", len(result.existing_gadgets)),
+                ("far_return", len(result.far_gadgets)),
+                ("immediate", len(result.immediate_candidates)),
+                ("jump_offset", len(result.jump_candidates)),
+            ):
+                metrics.counter(f"rewrite.rule_hits.{rule_name}").inc(hits)
+                span.set_attribute(rule_name, hits)
+            metrics.counter("rewrite.analyses").inc()
+            return result
 
     # ------------------------------------------------------------------
     # Conflict-aware selection (for application)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..gadgets.types import GadgetKind, GadgetOp
+from ..telemetry import get_metrics, get_tracer
 from ..x86.registers import EAX, EBP, Register
 from . import ir
 from .chain import RopChain
@@ -59,19 +60,26 @@ class RopCompiler:
     # ------------------------------------------------------------------
 
     def compile(self, function: ir.IRFunction) -> RopChain:
-        function.validate()
-        if not function.is_leaf:
-            raise RopCompileError(
-                f"{function.name}: only leaf functions can become chains"
-            )
-        scratch = self._pick_scratch(function)
-        chain = RopChain(name=f"rop_{function.name}")
-        chain.frame_cell = self.frame_cell
-        chain.resume_cell = self.resume_cell
-        emitter = _Emitter(self, chain, scratch)
-        for op in function.body:
-            emitter.emit(op)
-        return chain
+        with get_tracer().span("compile_chain", function=function.name) as span:
+            function.validate()
+            if not function.is_leaf:
+                raise RopCompileError(
+                    f"{function.name}: only leaf functions can become chains"
+                )
+            scratch = self._pick_scratch(function)
+            chain = RopChain(name=f"rop_{function.name}")
+            chain.frame_cell = self.frame_cell
+            chain.resume_cell = self.resume_cell
+            emitter = _Emitter(self, chain, scratch)
+            for op in function.body:
+                emitter.emit(op)
+            metrics = get_metrics()
+            metrics.counter("ropc.functions_compiled").inc()
+            metrics.counter("ropc.ir_ops_compiled").inc(len(function.body))
+            metrics.histogram("ropc.chain_words").observe(chain.word_count)
+            span.set_attribute("ir_ops", len(function.body))
+            span.set_attribute("words", chain.word_count)
+            return chain
 
     def _pick_scratch(self, function: ir.IRFunction):
         if self._scratch_override is not None:

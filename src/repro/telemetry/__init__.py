@@ -1,0 +1,105 @@
+"""Telemetry: metrics registry, structured tracing, chain introspection.
+
+Process-wide accessors::
+
+    from repro.telemetry import get_metrics, get_tracer, configure
+
+    configure(metrics=True, tracing=True)   # both start disabled
+    with get_tracer().span("protect", program="wget"):
+        get_metrics().counter("protect.runs").inc()
+
+The default registry and tracer start **disabled**: every instrument
+accessor returns a shared null object and every span is the shared null
+span, so instrumented code costs one function call on the cold paths
+and literally nothing on the emulator's per-step hot path (hooks are
+only installed when a tracer is enabled).  :func:`configure` flips
+either side on; :func:`telemetry_session` scopes that to a ``with``
+block and restores the previous state afterwards.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .chains import ChainExecutionTracer, ChainStep, trace_chain_run
+from .metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "Span", "Tracer",
+    "ChainStep", "ChainExecutionTracer", "trace_chain_run",
+    "get_metrics", "set_metrics", "get_tracer", "set_tracer",
+    "configure", "disable", "telemetry_session",
+]
+
+_metrics = MetricsRegistry(enabled=False)
+_tracer = Tracer(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry (disabled until configured)."""
+    return _metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    global _metrics
+    previous, _metrics = _metrics, registry
+    return previous
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until configured)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _tracer
+    previous, _tracer = _tracer, tracer
+    return previous
+
+
+def configure(
+    metrics: Optional[bool] = None, tracing: Optional[bool] = None
+) -> None:
+    """Enable/disable the process-wide registry and tracer in place.
+
+    ``None`` leaves that side untouched.  Enabling an already-populated
+    registry keeps its instruments; use ``get_metrics().reset()`` for a
+    clean slate.
+    """
+    if metrics is not None:
+        _metrics.enabled = metrics
+    if tracing is not None:
+        _tracer.enabled = tracing
+
+
+def disable() -> None:
+    configure(metrics=False, tracing=False)
+
+
+@contextmanager
+def telemetry_session(metrics: bool = True, tracing: bool = True):
+    """Fresh, enabled registry + tracer for the duration of the block.
+
+    Yields ``(MetricsRegistry, Tracer)``; the previous process-wide
+    objects (and their enabled state) are restored on exit.
+    """
+    new_metrics = MetricsRegistry(enabled=metrics)
+    new_tracer = Tracer(enabled=tracing)
+    old_metrics = set_metrics(new_metrics)
+    old_tracer = set_tracer(new_tracer)
+    try:
+        yield new_metrics, new_tracer
+    finally:
+        set_metrics(old_metrics)
+        set_tracer(old_tracer)

@@ -1,0 +1,371 @@
+"""Metrics registry: counters, gauges, histograms, wall-clock timers.
+
+The registry is the machine-readable counterpart of the ad-hoc
+``summary()``/``report()`` strings scattered through the pipeline.  All
+instruments are cheap dictionaries of plain numbers; exporting them is
+a single JSON dump, so every benchmark and CLI run can leave a metrics
+artifact behind.
+
+Design constraints (see DESIGN.md §Observability):
+
+* **No-op fast path.**  A disabled registry hands out shared null
+  instruments whose methods do nothing, so instrumented code pays one
+  attribute call and nothing else.  The process-wide default registry
+  starts *disabled*; :func:`configure` switches it on.
+* **Monotonic timing.**  Timers use :func:`time.perf_counter`, never
+  wall-clock time, so measured durations cannot go backwards.
+* **Explicit buckets.**  Histograms take explicit upper bounds
+  (``le`` semantics, like Prometheus): an observation lands in the
+  first bucket whose bound is >= the value, else in the +Inf overflow.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_TIMER",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Default histogram buckets for durations in seconds (1µs .. 30s).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Default buckets for size-ish quantities (words, bytes, counts).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Distribution with explicit bucket upper bounds (``le`` semantics).
+
+    ``counts[i]`` is the number of observations with
+    ``value <= buckets[i]`` that did not fit an earlier bucket; the
+    final slot counts the +Inf overflow.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
+        help: str = "",
+    ):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate bucket bounds")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """(upper_bound, count) pairs; the last bound is +Inf."""
+        pairs = list(zip(self.buckets, self.counts))
+        pairs.append((float("inf"), self.counts[-1]))
+        return pairs
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": [
+                {"le": bound if bound != float("inf") else "+Inf", "count": n}
+                for bound, n in self.bucket_counts()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+
+
+class Timer:
+    """Wall-clock timer over a histogram of seconds.
+
+    Usable three ways::
+
+        with registry.timer("protect.duration"):
+            ...
+        @registry.timer("find_gadgets.duration")
+        def find(...): ...
+        t = registry.timer("x"); handle = t.start(); ... ; handle.stop()
+
+    All measurements use the monotonic :func:`time.perf_counter`.
+    """
+
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._start: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return self.histogram.name
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name} was never started")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.histogram.observe(elapsed)
+        return elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __call__(self, func: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                self.histogram.observe(time.perf_counter() - start)
+
+        wrapper.__name__ = getattr(func, "__name__", "wrapped")
+        wrapper.__doc__ = func.__doc__
+        return wrapper
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def start(self) -> "Timer":
+        return self
+
+    def stop(self) -> float:
+        return 0.0
+
+    def __call__(self, func: Callable) -> Callable:
+        return func
+
+
+#: Shared no-op instruments handed out by disabled registries.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null", buckets=(1.0,))
+NULL_TIMER = _NullTimer(NULL_HISTOGRAM)
+
+
+class MetricsRegistry:
+    """Names -> instruments, with JSON/JSONL export.
+
+    Instruments are created on first use and aggregated for the life of
+    the registry; re-requesting a name returns the same instrument.
+    A disabled registry returns the shared null instruments and records
+    nothing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+
+    # -- instrument accessors ------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Counter(name, help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Counter):
+            raise TypeError(f"{name} is already a {type(instrument).__name__}")
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Gauge(name, help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Gauge):
+            raise TypeError(f"{name} is already a {type(instrument).__name__}")
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, buckets=buckets, help=help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"{name} is already a {type(instrument).__name__}")
+        return instrument
+
+    def timer(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Timer:
+        if not self.enabled:
+            return NULL_TIMER
+        return Timer(self.histogram(name, buckets=buckets))
+
+    # -- export ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def to_dict(self) -> dict:
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def iter_samples(self) -> Iterable[dict]:
+        for name in sorted(self._instruments):
+            yield self._instruments[name].to_dict()
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for sample in self.iter_samples():
+                fh.write(json.dumps(sample, sort_keys=True))
+                fh.write("\n")
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<MetricsRegistry {state}, {len(self._instruments)} instruments>"

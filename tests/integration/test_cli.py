@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -33,3 +35,51 @@ def test_analyze(capsys):
 def test_unknown_program_rejected():
     with pytest.raises(SystemExit):
         main(["run", "notaprogram"])
+
+
+@pytest.fixture
+def cli_small_wget(monkeypatch, small_wget):
+    """Route the CLI's program builder at the fast test corpus."""
+    monkeypatch.setattr("repro.cli.build_program", lambda name: small_wget)
+
+
+def test_protect_json_and_telemetry_files(capsys, tmp_path, cli_small_wget):
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.jsonl"
+    assert main([
+        "protect", "wget", "--json",
+        "--metrics", str(metrics_path), "--trace", str(trace_path),
+    ]) == 0
+
+    report = json.loads(capsys.readouterr().out)
+    assert report["program"] == "wget"
+    assert report["behaviour_preserved"] is True
+    assert report["chains"] and report["chains"][0]["word_count"] > 0
+    assert report["chains"][0]["gadget_addresses"]
+
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["gadgets.offsets_scanned"]["value"] > 0
+    assert metrics["protect.chain_words"]["type"] == "histogram"
+    assert metrics["protect.chain_words"]["count"] >= 1
+
+    events = [json.loads(l) for l in trace_path.read_text().splitlines()]
+    by_name = {e["name"]: e for e in events}
+    assert {"protect", "find_gadgets", "compile_chain", "emit_chain"} <= set(by_name)
+    # find_gadgets and emit_chain nest under protect
+    assert by_name["find_gadgets"]["parent_id"] == by_name["protect"]["span_id"]
+    assert by_name["emit_chain"]["parent_id"] == by_name["protect"]["span_id"]
+
+
+def test_protect_metrics_to_stdout(capsys, cli_small_wget):
+    assert main(["protect", "wget", "--metrics", "-"]) == 0
+    out = capsys.readouterr().out
+    # summary text first, then the metrics JSON object
+    payload = json.loads(out[out.index("\n{") :])
+    assert "protect.chains_emitted" in payload
+
+
+def test_profile_prints_cycle_table(capsys, cli_small_wget):
+    assert main(["profile", "wget"]) == 0
+    out = capsys.readouterr().out
+    assert "function" in out and "cycles" in out
+    assert "checksum_words" in out

@@ -1,0 +1,158 @@
+"""Metrics registry: instruments, buckets, timers, no-op mode, export."""
+
+import json
+import time
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    telemetry_session,
+    get_metrics,
+)
+from repro.telemetry.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_TIMER,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("x")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+    assert registry.counter("x") is counter  # same instrument on re-request
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_add():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g")
+    gauge.set(10)
+    gauge.add(-3)
+    assert gauge.value == 7
+
+
+def test_histogram_bucket_boundaries_le_semantics():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(1, 10, 100))
+    # A value exactly on a bound lands in that bucket (le semantics).
+    for value in (0, 1, 1.5, 10, 10.1, 100, 101, 5000):
+        hist.observe(value)
+    counts = dict()
+    for (bound, count) in hist.bucket_counts():
+        counts[bound] = count
+    assert counts[1.0] == 2      # 0, 1
+    assert counts[10.0] == 2     # 1.5, 10
+    assert counts[100.0] == 2    # 10.1, 100
+    assert counts[float("inf")] == 2  # 101, 5000
+    assert hist.count == 8
+    assert hist.min == 0 and hist.max == 5000
+
+
+def test_histogram_rejects_bad_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("empty", buckets=())
+    with pytest.raises(ValueError):
+        registry.histogram("dup", buckets=(1, 1, 2))
+
+
+def test_histogram_unsorted_buckets_are_sorted():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(100, 1, 10))
+    assert hist.buckets == (1.0, 10.0, 100.0)
+
+
+def test_type_conflicts_rejected():
+    registry = MetricsRegistry()
+    registry.counter("name")
+    with pytest.raises(TypeError):
+        registry.gauge("name")
+    with pytest.raises(TypeError):
+        registry.histogram("name")
+
+
+def test_timer_uses_monotonic_clock_and_records():
+    registry = MetricsRegistry()
+    with registry.timer("t", buckets=(0.001, 0.1, 10.0)):
+        time.sleep(0.01)
+    hist = registry.get("t")
+    assert hist.count == 1
+    # Slept 10ms: the measured duration must be >= the sleep (a wall
+    # clock stepping backwards would violate this) and well under 10s.
+    assert 0.009 <= hist.sum < 10.0
+
+
+def test_timer_as_decorator():
+    registry = MetricsRegistry()
+
+    @registry.timer("decorated")
+    def work():
+        return 7
+
+    assert work() == 7
+    assert work() == 7
+    assert registry.get("decorated").count == 2
+
+
+def test_timer_stop_without_start_raises():
+    registry = MetricsRegistry()
+    with pytest.raises(RuntimeError):
+        registry.timer("t").stop()
+
+
+def test_disabled_registry_emits_nothing():
+    registry = MetricsRegistry(enabled=False)
+    registry.counter("c").inc(100)
+    registry.gauge("g").set(5)
+    registry.histogram("h").observe(1)
+    with registry.timer("t"):
+        pass
+    assert len(registry) == 0
+    assert registry.to_dict() == {}
+    # Disabled accessors hand out the shared null instruments.
+    assert registry.counter("c") is NULL_COUNTER
+    assert registry.gauge("g") is NULL_GAUGE
+    assert registry.histogram("h") is NULL_HISTOGRAM
+    assert registry.timer("t") is NULL_TIMER
+    assert NULL_COUNTER.value == 0  # the null counter never moves
+
+
+def test_json_export_roundtrip(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("a").inc(3)
+    registry.histogram("b", buckets=(1, 2)).observe(1.5)
+    path = tmp_path / "metrics.json"
+    registry.write_json(str(path))
+    data = json.loads(path.read_text())
+    assert data["a"]["value"] == 3
+    assert data["b"]["count"] == 1
+
+    jsonl = tmp_path / "metrics.jsonl"
+    registry.write_jsonl(str(jsonl))
+    lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert {line["name"] for line in lines} == {"a", "b"}
+
+
+def test_default_registry_starts_disabled():
+    # the process-wide default must be a no-op unless configured
+    registry = get_metrics()
+    if registry.enabled:
+        pytest.skip("another component enabled the default registry")
+    registry.counter("should_not_exist").inc()
+    assert "should_not_exist" not in registry
+
+
+def test_telemetry_session_scopes_and_restores():
+    before = get_metrics()
+    with telemetry_session() as (metrics, tracer):
+        assert get_metrics() is metrics
+        assert metrics.enabled and tracer.enabled
+        metrics.counter("inside").inc()
+    assert get_metrics() is before
+    assert "inside" not in get_metrics()
