@@ -9,6 +9,7 @@ its memory.
 from __future__ import annotations
 
 import copy
+import hashlib
 from typing import List, Optional
 
 from .section import Perm, Section
@@ -120,6 +121,42 @@ class BinaryImage:
     def clone(self) -> "BinaryImage":
         """Deep copy — used to compare pristine vs tampered images."""
         return copy.deepcopy(self)
+
+    def canonical_bytes(self) -> bytes:
+        """A canonical serialization of everything execution can see.
+
+        Covers the entry point, every section (name, address,
+        permissions, exact contents) and every symbol.  Two images with
+        equal canonical bytes are behaviourally identical to the
+        emulator; ``metadata`` is free-form bookkeeping and excluded.
+        The encoding length-prefixes each field so distinct images can
+        never serialize identically.
+        """
+        out = bytearray()
+
+        def field(tag: bytes, payload: bytes) -> None:
+            out.extend(tag)
+            out.extend(len(payload).to_bytes(8, "little"))
+            out.extend(payload)
+
+        field(b"N", self.name.encode("utf-8"))
+        field(b"E", self.entry.to_bytes(8, "little"))
+        for sec in self.sections:  # kept sorted by vaddr
+            field(b"s", sec.name.encode("utf-8"))
+            field(b"a", sec.vaddr.to_bytes(8, "little"))
+            field(b"p", bytes([sec.perm]))
+            field(b"d", bytes(sec.data))
+        for sym in sorted(self.symbols, key=lambda s: (s.vaddr, s.name)):
+            field(b"y", sym.name.encode("utf-8"))
+            field(b"v", sym.vaddr.to_bytes(8, "little"))
+            field(b"z", sym.size.to_bytes(8, "little"))
+            field(b"k", str(sym.kind).encode("utf-8"))
+        return bytes(out)
+
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_bytes` — the image's
+        content-addressed identity, used as a cache key component."""
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
 
     def __repr__(self) -> str:
         secs = ", ".join(s.name for s in self.sections)

@@ -1,0 +1,419 @@
+"""Content-addressed caching for the protection pipeline.
+
+Protection is referentially transparent: gadget discovery, linear
+disassembly and the whole :meth:`Parallax.protect` run are pure
+functions of the input bytes and the configuration (every random choice
+is derived from ``ProtectConfig.seed``).  This module exploits that to
+make repeated ``protect``/benchmark runs skip unchanged programs
+entirely:
+
+* keys are SHA-256 digests over a canonical encoding of the inputs
+  (section bytes, virtual addresses, finder/config knobs, and a
+  per-namespace version stamp so stale entries die on algorithm
+  changes);
+* every namespace has an **in-memory LRU tier** bounded by entry count;
+* an optional **on-disk tier** (``configure_cache(cache_dir=...)`` or
+  the ``REPRO_CACHE_DIR`` environment variable) persists entries across
+  processes — this is what makes warm ``protect-all`` reruns and
+  parallel workers cheap;
+* caching is **opt-in per process**: the default manager is disabled
+  unless ``REPRO_CACHE_DIR`` is set, so plain library/CLI use is
+  untouched; ``configure_cache()`` / ``cache_session()`` (and the
+  CLI's ``protect-all --cache-dir``) switch it on;
+* hits/misses/stores are counted per namespace in the process-wide
+  telemetry registry (``cache.<ns>.hits`` etc.), so ``--metrics``
+  output shows exactly what the cache did.
+
+The disk tier is deliberately forgiving: unreadable or truncated
+entries are treated as misses and overwritten, never raised.
+
+Correctness stance: a cache hit must be indistinguishable from a
+recompute.  Namespaces that return mutable object graphs therefore
+either hand out fresh copies per hit (``store_blobs=True`` keeps the
+pickled bytes even in memory) or document that callers must not mutate
+the cached values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from .telemetry import get_metrics
+
+__all__ = [
+    "content_key",
+    "package_source_digest",
+    "LRUTier",
+    "DiskTier",
+    "ContentCache",
+    "CacheManager",
+    "get_cache",
+    "configure_cache",
+    "cache_manager",
+    "reset_caches",
+    "cache_session",
+]
+
+#: Default bound for every in-memory LRU tier.
+DEFAULT_MEMORY_ENTRIES = 256
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+_MISS = object()
+
+_SOURCE_DIGEST: Optional[str] = None
+
+
+def package_source_digest() -> str:
+    """SHA-256 over every ``.py`` source file of the ``repro`` package.
+
+    The honest cache key for artifacts that depend on *code* rather
+    than on explicit input bytes (e.g. corpus programs generated from
+    seeds): any source change anywhere in the package invalidates such
+    entries automatically, with no version constant to forget to bump.
+    Computed once per process.
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        root = os.path.dirname(os.path.abspath(__file__))
+        digest = hashlib.sha256()
+        for directory, _subdirs, files in sorted(os.walk(root)):
+            for filename in sorted(files):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(directory, filename)
+                digest.update(os.path.relpath(path, root).encode("utf-8"))
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _SOURCE_DIGEST = digest.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def _encode_part(part: Any, out: "hashlib._Hash") -> None:
+    """Feed one key part into the hash with an unambiguous framing.
+
+    Each part is tagged with its type and length so that, e.g.,
+    ``(b"ab", b"c")`` and ``(b"a", b"bc")`` can never collide, and an
+    ``int`` can never alias the ``str`` of its digits.
+    """
+    if isinstance(part, bytes):
+        out.update(b"b%d:" % len(part))
+        out.update(part)
+    elif isinstance(part, bytearray) or isinstance(part, memoryview):
+        raw = bytes(part)
+        out.update(b"b%d:" % len(raw))
+        out.update(raw)
+    elif isinstance(part, str):
+        raw = part.encode("utf-8")
+        out.update(b"s%d:" % len(raw))
+        out.update(raw)
+    elif isinstance(part, bool):  # before int: bool is an int subclass
+        out.update(b"B1:" if part else b"B0:")
+    elif isinstance(part, int):
+        raw = str(part).encode("ascii")
+        out.update(b"i%d:" % len(raw))
+        out.update(raw)
+    elif isinstance(part, float):
+        raw = repr(part).encode("ascii")
+        out.update(b"f%d:" % len(raw))
+        out.update(raw)
+    elif part is None:
+        out.update(b"n:")
+    elif isinstance(part, (tuple, list)):
+        out.update(b"t%d:" % len(part))
+        for item in part:
+            _encode_part(item, out)
+    else:
+        raise TypeError(f"unhashable cache key part: {type(part).__name__}")
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 hex digest over a canonical encoding of ``parts``.
+
+    Accepts bytes, str, int, bool, float, None and nested
+    tuples/lists of those.  Distinct part sequences produce distinct
+    digests (up to SHA-256 collisions).
+    """
+    digest = hashlib.sha256()
+    _encode_part(parts, digest)
+    return digest.hexdigest()
+
+
+class LRUTier:
+    """Bounded in-memory key -> value store with LRU eviction."""
+
+    def __init__(self, max_entries: int = DEFAULT_MEMORY_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Any:
+        with self._lock:
+            if key not in self._entries:
+                return _MISS
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskTier:
+    """Pickle-per-entry on-disk store, sharded by digest prefix.
+
+    Writes are atomic (temp file + rename) so concurrent workers can
+    share one directory; reads treat any malformed entry as a miss.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, namespace: str, key: str) -> str:
+        return os.path.join(self.root, namespace, key[:2], key + ".pkl")
+
+    def get_blob(self, namespace: str, key: str) -> Optional[bytes]:
+        try:
+            with open(self._path(namespace, key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    def put_blob(self, namespace: str, key: str, blob: bytes) -> None:
+        path = self._path(namespace, key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # Cache writes are best-effort: a full or read-only disk
+            # must never fail the protection run itself.
+            pass
+
+    def entry_count(self, namespace: Optional[str] = None) -> int:
+        count = 0
+        roots = (
+            [os.path.join(self.root, namespace)] if namespace else [self.root]
+        )
+        for root in roots:
+            for _dir, _subdirs, files in os.walk(root):
+                count += sum(1 for f in files if f.endswith(".pkl"))
+        return count
+
+
+class ContentCache:
+    """One namespace of the content-addressed cache.
+
+    Args:
+        namespace: short name; becomes part of disk paths and metric
+            names (``cache.<namespace>.hits`` ...).
+        memory: the in-memory LRU tier (always present).
+        disk: optional shared :class:`DiskTier`.
+        store_blobs: keep pickled bytes in the memory tier and
+            deserialize on every hit, so each hit returns a fresh object
+            graph (required when callers may mutate the result, e.g.
+            protected images).
+        use_disk: gate allowing a namespace to opt out of the disk tier
+            even when one is configured (e.g. decode results whose
+            object graphs are cheap to rebuild but heavy to pickle).
+    """
+
+    def __init__(
+        self,
+        namespace: str,
+        memory: Optional[LRUTier] = None,
+        disk: Optional[DiskTier] = None,
+        store_blobs: bool = False,
+        use_disk: bool = True,
+    ):
+        self.namespace = namespace
+        self.memory = memory if memory is not None else LRUTier()
+        self.disk = disk
+        self.store_blobs = store_blobs
+        self.use_disk = use_disk
+
+    # -- metrics --------------------------------------------------------
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        get_metrics().counter(f"cache.{self.namespace}.{event}").inc(amount)
+
+    # -- lookup/store ---------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; ``value`` is None on a miss."""
+        entry = self.memory.get(key)
+        if entry is not _MISS:
+            self._count("hits")
+            self._count("memory_hits")
+            if self.store_blobs:
+                return True, pickle.loads(entry)
+            return True, entry
+        if self.disk is not None and self.use_disk:
+            blob = self.disk.get_blob(self.namespace, key)
+            if blob is not None:
+                try:
+                    value = pickle.loads(blob)
+                except Exception:
+                    self._count("disk_corrupt")
+                else:
+                    self.memory.put(key, blob if self.store_blobs else value)
+                    self._count("hits")
+                    self._count("disk_hits")
+                    return True, value
+        self._count("misses")
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        blob = None
+        if self.store_blobs or (self.disk is not None and self.use_disk):
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self.memory.put(key, blob if self.store_blobs else value)
+        if self.disk is not None and self.use_disk and blob is not None:
+            self.disk.put_blob(self.namespace, key, blob)
+        self._count("stores")
+
+    def get_or_compute(self, key: str, compute):
+        """``compute()`` on miss, store, and return the value."""
+        hit, value = self.get(key)
+        if hit:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+
+class CacheManager:
+    """Process-wide registry of namespaces sharing one configuration."""
+
+    #: Namespaces whose values are only safe/worthwhile in memory
+    #: (decoded instruction lists are mutated lazily by the emulator's
+    #: cost model and dwarf their own pickles).
+    MEMORY_ONLY = frozenset({"decode"})
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        enabled: bool = True,
+    ):
+        self.memory_entries = memory_entries
+        self.enabled = enabled
+        self.disk = DiskTier(cache_dir) if cache_dir else None
+        self._caches: Dict[str, ContentCache] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self.disk.root if self.disk is not None else None
+
+    def get(self, namespace: str, store_blobs: bool = False) -> ContentCache:
+        with self._lock:
+            cache = self._caches.get(namespace)
+            if cache is None:
+                cache = ContentCache(
+                    namespace,
+                    memory=LRUTier(self.memory_entries),
+                    disk=self.disk,
+                    store_blobs=store_blobs,
+                    use_disk=namespace not in self.MEMORY_ONLY,
+                )
+                self._caches[namespace] = cache
+            return cache
+
+    def clear_memory(self) -> None:
+        with self._lock:
+            for cache in self._caches.values():
+                cache.memory.clear()
+
+
+# Process-wide caching is opt-in: a bare import must never change
+# observable behaviour (telemetry counters, object identity) of code
+# that protects twice in one process.  Setting REPRO_CACHE_DIR — or
+# calling configure_cache()/cache_session() — turns it on.
+_ENV_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
+_manager = CacheManager(cache_dir=_ENV_CACHE_DIR, enabled=_ENV_CACHE_DIR is not None)
+
+
+def cache_manager() -> CacheManager:
+    """The process-wide cache manager."""
+    return _manager
+
+
+def configure_cache(
+    cache_dir: Optional[str] = None,
+    memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    enabled: bool = True,
+) -> CacheManager:
+    """Replace the process-wide cache manager; returns the new one.
+
+    ``cache_dir=None`` keeps caching purely in-memory; ``enabled=False``
+    turns every lookup into a recompute (used by the differential tests
+    to prove cached and uncached runs are byte-identical).
+    """
+    global _manager
+    _manager = CacheManager(
+        cache_dir=cache_dir, memory_entries=memory_entries, enabled=enabled
+    )
+    return _manager
+
+
+def reset_caches() -> None:
+    """Drop every in-memory entry (the disk tier is left alone)."""
+    _manager.clear_memory()
+
+
+def get_cache(namespace: str, store_blobs: bool = False) -> Optional[ContentCache]:
+    """The namespace cache, or ``None`` when caching is disabled."""
+    if not _manager.enabled:
+        return None
+    return _manager.get(namespace, store_blobs=store_blobs)
+
+
+@contextmanager
+def cache_session(
+    cache_dir: Optional[str] = None,
+    memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    enabled: bool = True,
+):
+    """Scoped cache manager for tests; restores the previous one."""
+    global _manager
+    previous = _manager
+    _manager = CacheManager(
+        cache_dir=cache_dir, memory_entries=memory_entries, enabled=enabled
+    )
+    try:
+        yield _manager
+    finally:
+        _manager = previous

@@ -8,7 +8,9 @@ Commands:
 * ``profile PROGRAM``           — per-function cycle attribution table;
 * ``analyze PROGRAM``           — Fig. 6 protectability for one program;
 * ``fig6``                      — the full Fig. 6 table;
-* ``attack PROGRAM``            — static + Wurster tamper demo.
+* ``attack PROGRAM``            — static + Wurster tamper demo;
+* ``protect-all``               — protect the whole corpus, optionally
+  in parallel (``--jobs``) and cached on disk (``--cache-dir``).
 
 Observability: ``--metrics FILE`` and ``--trace FILE`` on the heavier
 commands enable the process-wide telemetry layer and export a metrics
@@ -137,6 +139,45 @@ def _cmd_fig6(_args) -> int:
     return 0
 
 
+def _cmd_protect_all(args) -> int:
+    from .pipeline import protect_all
+
+    config = ProtectConfig(strategy=args.strategy, guard_chains=args.guard_chains)
+    results = protect_all(
+        config=config,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        verify=args.verify,
+    )
+    failed = [
+        r for r in results
+        if r.behaviour_preserved is not None and not r.behaviour_preserved
+    ]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+        return 1 if failed else 0
+    total = sum(r.elapsed for r in results)
+    hits = sum(1 for r in results if r.cache_hit)
+    print(f"{'program':<8} {'chains':>6} {'time':>8}  {'cache':<5} {'pid':>7}")
+    for r in results:
+        verified = ""
+        if r.behaviour_preserved is not None:
+            verified = "  ok" if r.behaviour_preserved else "  DIVERGED"
+        print(
+            f"{r.name:<8} {len(r.report.chains):>6} {r.elapsed:>7.3f}s  "
+            f"{'hit' if r.cache_hit else 'miss':<5} {r.worker_pid:>7}{verified}"
+        )
+    print(
+        f"\n{len(results)} programs in {total:.3f}s worker time "
+        f"({hits} cache hit{'s' if hits != 1 else ''}, jobs={args.jobs})"
+    )
+    if failed:
+        print(f"ERROR: {len(failed)} program(s) diverged from baseline")
+        return 1
+    return 0
+
+
 def _cmd_attack(args) -> int:
     from .attacks import evaluate_patch_attack, evaluate_wurster_attack
     from .attacks.patching import corrupt_byte
@@ -204,6 +245,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.set_defaults(func=_cmd_analyze)
 
     sub.add_parser("fig6", help="the full Fig. 6 table").set_defaults(func=_cmd_fig6)
+
+    p_all = sub.add_parser(
+        "protect-all", help="protect the whole corpus (parallel, cached)"
+    )
+    p_all.add_argument("--strategy", choices=STRATEGIES, default="cleartext")
+    p_all.add_argument("--guard-chains", action="store_true",
+                       help="enable the §VI-C chain-guard network")
+    p_all.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1, inline)")
+    p_all.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="enable the on-disk cache tier at DIR")
+    p_all.add_argument("--no-cache", action="store_true",
+                       help="force full recomputation (disable all caching)")
+    p_all.add_argument("--verify", action="store_true",
+                       help="also run each protected program and compare "
+                            "behaviour against its baseline (slow)")
+    p_all.add_argument("--json", action="store_true",
+                       help="print per-program results as JSON")
+    _add_telemetry_args(p_all)
+    p_all.set_defaults(func=_cmd_protect_all)
 
     p_attack = sub.add_parser("attack", help="tamper demo on a protected program")
     p_attack.add_argument("program", choices=PROGRAM_NAMES)

@@ -58,3 +58,23 @@ class ProtectConfig:
         self.seed = seed
         self.time_threshold = time_threshold
         self.guard_chains = guard_chains
+
+    def cache_key(self) -> tuple:
+        """Canonical tuple of every field that influences the protected
+        output — the config half of the protection cache key.  Any new
+        config attribute MUST be added here (the differential test
+        suite guards the equality side; this guards the sensitivity
+        side)."""
+        return (
+            self.strategy,
+            tuple(self.verification_functions)
+            if self.verification_functions is not None
+            else None,
+            tuple(self.protect_addresses)
+            if self.protect_addresses is not None
+            else None,
+            self.n_variants,
+            self.seed,
+            self.time_threshold,
+            self.guard_chains,
+        )

@@ -32,7 +32,7 @@ from ..gadgets import GadgetCatalog, find_gadgets
 from ..ropc import compile_functions, emit_standard_gadgets
 from ..ropc.chain import RopChain
 from ..ropc.compiler import RopCompiler
-from ..x86.decoder import decode_all
+from ..x86.decoder import decode_all_cached
 from ..crypto import rc4_crypt, xor_crypt_words
 from . import runtime
 from .config import (
@@ -55,6 +55,10 @@ RT_BASE = 0x080E0000
 ENC_BASE = 0x080F0000
 
 _STUB_SLOT = 192  # bytes reserved per loader stub (guards + decryptor calls)
+
+#: Bump when protection output changes for identical inputs, so cached
+#: protected images from an older pipeline are never replayed.
+PROTECT_CACHE_VERSION = 1
 
 
 class ProtectError(Exception):
@@ -108,13 +112,46 @@ class Parallax:
 
     # ------------------------------------------------------------------
 
-    def protect(self, program: Program) -> ProtectedProgram:
+    def protect(self, program: Program, use_cache: bool = True) -> ProtectedProgram:
+        """Protect ``program``, consulting the content-addressed cache.
+
+        Every random choice in the pipeline derives from
+        ``config.seed``, so protection is a pure function of the input
+        image and the config — which is exactly the cache key.  A hit
+        deserializes a fresh image/report pair, indistinguishable from
+        a recompute; ``use_cache=False`` forces the full pipeline.
+        """
+        cache = key = None
+        if use_cache:
+            from ..cache import content_key, get_cache
+
+            cache = get_cache("protect", store_blobs=True)
+        if cache is not None:
+            key = content_key(
+                "protect",
+                PROTECT_CACHE_VERSION,
+                program.image.fingerprint(),
+                self.config.cache_key(),
+            )
+            hit, value = cache.get(key)
+            if hit:
+                image, report = value
+                with get_tracer().span(
+                    "protect",
+                    program=program.name,
+                    strategy=self.config.strategy,
+                    cached=True,
+                ) as span:
+                    span.set_attribute("chains", len(report.chains))
+                return ProtectedProgram(program, image, report)
         with get_tracer().span(
             "protect", program=program.name, strategy=self.config.strategy
         ) as span:
             protected = self._protect(program)
             span.set_attribute("chains", len(protected.report.chains))
-            return protected
+        if cache is not None:
+            cache.put(key, (protected.image, protected.report))
+        return protected
 
     def _protect(self, program: Program) -> ProtectedProgram:
         config = self.config
@@ -310,7 +347,7 @@ class Parallax:
         """Addresses of likely attack targets: control flow + syscalls."""
         targets = []
         for section in image.executable_sections():
-            for insn in decode_all(
+            for insn in decode_all_cached(
                 bytes(section.data), address=section.vaddr, stop_on_error=True
             ):
                 if insn.is_control_flow or insn.mnemonic == "int":

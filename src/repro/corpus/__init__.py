@@ -25,6 +25,7 @@ from .programs import (
     build_lame,
     build_nginx,
     build_program,
+    build_program_cached,
     build_wget,
 )
 
@@ -39,7 +40,7 @@ __all__ = [
     "TEXT_BASE", "RODATA_BASE", "DATA_BASE", "GADGETS_BASE",
     "STUBS_BASE", "ROPDATA_BASE", "ROPCHAINS_BASE",
     "BUILDERS", "PROGRAM_NAMES",
-    "build_all", "build_program",
+    "build_all", "build_program", "build_program_cached",
     "build_wget", "build_nginx", "build_bzip2",
     "build_gzip", "build_gcc", "build_lame",
 ]

@@ -533,6 +533,25 @@ def build_program(name: str) -> Program:
     return BUILDERS[name]()
 
 
+def build_program_cached(name: str) -> Program:
+    """Content-addressed :func:`build_program`.
+
+    Corpus generation is pure code + fixed seeds, so the key is the
+    package source digest plus the program name: editing any ``repro``
+    source file invalidates the entry, and the corpus-determinism test
+    suite guards the fixed-seed half of the assumption.  Hits
+    deserialize a fresh :class:`Program` (blob-stored), so callers may
+    mutate the result freely.
+    """
+    from ..cache import content_key, get_cache, package_source_digest
+
+    cache = get_cache("corpus", store_blobs=True)
+    if cache is None:
+        return build_program(name)
+    key = content_key("corpus", package_source_digest(), name)
+    return cache.get_or_compute(key, lambda: build_program(name))
+
+
 def build_all() -> Dict[str, Program]:
     """Build the full corpus (deterministic)."""
     return {name: build_program(name) for name in PROGRAM_NAMES}

@@ -2,22 +2,26 @@
 
 from .catalog import GadgetCatalog
 from .finder import (
+    FINDER_VERSION,
     MAX_GADGET_INSNS,
     MAX_LOOKBACK_BYTES,
     decode_gadget_at,
     find_gadgets,
     find_gadgets_in_bytes,
+    find_gadgets_in_bytes_cached,
 )
 from .semantics import classify
 from .types import COMPILER_USABLE, Gadget, GadgetKind, GadgetOp
 
 __all__ = [
     "GadgetCatalog",
+    "FINDER_VERSION",
     "MAX_GADGET_INSNS",
     "MAX_LOOKBACK_BYTES",
     "decode_gadget_at",
     "find_gadgets",
     "find_gadgets_in_bytes",
+    "find_gadgets_in_bytes_cached",
     "classify",
     "COMPILER_USABLE",
     "Gadget",

@@ -34,6 +34,10 @@ MAX_GADGET_INSNS = 6
 #: instructions of at most ~7 bytes each is generous at 40.
 MAX_LOOKBACK_BYTES = 40
 
+#: Bump when discovery or classification semantics change, so cached
+#: finder output from an older algorithm can never be replayed.
+FINDER_VERSION = 1
+
 _NEAR_RETS = (RET_OPCODE, RET_IMM16_OPCODE)
 _FAR_RETS = (RETF_OPCODE, RETF_IMM16_OPCODE)
 
@@ -118,17 +122,56 @@ def _ret_length(data: bytes, ret_pos: int) -> int:
     return 3 if data[ret_pos] in (RET_IMM16_OPCODE, RETF_IMM16_OPCODE) else 1
 
 
+def find_gadgets_in_bytes_cached(
+    data: bytes,
+    base: int = 0,
+    max_insns: int = MAX_GADGET_INSNS,
+    include_far: bool = True,
+) -> List[Gadget]:
+    """Content-addressed :func:`find_gadgets_in_bytes`.
+
+    The key covers the exact section bytes, the base address and every
+    finder knob (plus :data:`FINDER_VERSION`), so a one-byte change to
+    the code — the very thing Parallax exists to detect — yields a
+    different key and a fresh scan.  Gadget objects are shared between
+    hits; the pipeline treats them as immutable.
+    """
+    from ..cache import content_key, get_cache
+
+    cache = get_cache("gadgets")
+    if cache is None:
+        return find_gadgets_in_bytes(
+            data, base=base, max_insns=max_insns, include_far=include_far
+        )
+    key = content_key(
+        "find_gadgets", FINDER_VERSION, bytes(data), base, max_insns, include_far
+    )
+    return list(
+        cache.get_or_compute(
+            key,
+            lambda: find_gadgets_in_bytes(
+                data, base=base, max_insns=max_insns, include_far=include_far
+            ),
+        )
+    )
+
+
 def find_gadgets(
     image: BinaryImage,
     max_insns: int = MAX_GADGET_INSNS,
     include_far: bool = True,
 ) -> List[Gadget]:
-    """Find all gadgets in every executable section of ``image``."""
+    """Find all gadgets in every executable section of ``image``.
+
+    Each section is looked up in the content-addressed gadget cache
+    individually, so sections shared between runs (or untouched by a
+    rewrite) are never re-scanned.
+    """
     with get_tracer().span("find_gadgets", image=image.name) as span:
         gadgets: List[Gadget] = []
         for section in image.executable_sections():
             gadgets.extend(
-                find_gadgets_in_bytes(
+                find_gadgets_in_bytes_cached(
                     bytes(section.data),
                     base=section.vaddr,
                     max_insns=max_insns,

@@ -1,0 +1,300 @@
+"""The parallel protection pipeline: ``protect-all`` in library form.
+
+Fans :meth:`Parallax.protect` out across corpus programs with
+``multiprocessing``, backed by the content-addressed cache in
+:mod:`repro.cache`:
+
+* **worker count** — ``jobs=1`` runs inline (no subprocesses, parent
+  tracer sees every span); ``jobs>1`` forks a pool;
+* **deterministic ordering** — results come back in input order
+  regardless of which worker finishes first, and each protection is
+  independent and seeded, so ``jobs=1`` and ``jobs=N`` produce
+  byte-identical images;
+* **per-worker telemetry** — every task runs under a private metrics
+  registry whose samples are merged into the parent's process-wide
+  registry in input order (:meth:`MetricsRegistry.merge_samples`), so
+  ``--metrics`` output is one registry no matter the worker count;
+* **caching** — workers share the parent's on-disk cache tier, so a
+  warm ``protect-all`` deserializes instead of re-protecting, and a
+  second run of the same corpus is nearly free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from typing import List, Optional, Sequence
+
+from ..cache import cache_manager, configure_cache
+from ..core.config import ProtectConfig
+from ..core.protector import Parallax, ProtectedProgram
+from ..corpus import PROGRAM_NAMES, build_program_cached
+from ..telemetry import MetricsRegistry, get_metrics, get_tracer, set_metrics
+
+__all__ = [
+    "PipelineResult",
+    "config_for_program",
+    "protect_all",
+    "protect_one",
+]
+
+
+class PipelineResult:
+    """One program's outcome from a pipeline run."""
+
+    __slots__ = (
+        "name",
+        "image",
+        "report",
+        "elapsed",
+        "cache_hit",
+        "worker_pid",
+        "behaviour_preserved",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        image,
+        report,
+        elapsed: float,
+        cache_hit: bool,
+        worker_pid: int,
+        behaviour_preserved: Optional[bool] = None,
+    ):
+        self.name = name
+        self.image = image
+        self.report = report
+        self.elapsed = elapsed
+        self.cache_hit = cache_hit
+        self.worker_pid = worker_pid
+        #: None unless the pipeline was asked to verify behaviour.
+        self.behaviour_preserved = behaviour_preserved
+
+    def to_dict(self) -> dict:
+        payload = {
+            "program": self.name,
+            "elapsed_s": round(self.elapsed, 6),
+            "cache_hit": self.cache_hit,
+            "worker_pid": self.worker_pid,
+            "report": self.report.to_dict(),
+        }
+        if self.behaviour_preserved is not None:
+            payload["behaviour_preserved"] = self.behaviour_preserved
+        return payload
+
+    def __repr__(self) -> str:
+        hit = "hit" if self.cache_hit else "miss"
+        return (
+            f"<PipelineResult {self.name} {self.elapsed:.3f}s "
+            f"cache-{hit} pid={self.worker_pid}>"
+        )
+
+
+def config_for_program(name: str, base: Optional[ProtectConfig]) -> ProtectConfig:
+    """Specialize ``base`` for one corpus program.
+
+    When the base config names no verification functions, the
+    program's ``digest_*`` helper is used — the function the §VII-B
+    selection algorithm converges on for every corpus program, without
+    paying for a profiling run per program.
+    """
+    base = base or ProtectConfig()
+    verification = base.verification_functions
+    if verification is None:
+        verification = [f"digest_{name}"]
+    return ProtectConfig(
+        strategy=base.strategy,
+        verification_functions=list(verification),
+        protect_addresses=base.protect_addresses,
+        n_variants=base.n_variants,
+        seed=base.seed,
+        time_threshold=base.time_threshold,
+        guard_chains=base.guard_chains,
+    )
+
+
+def protect_one(
+    program,
+    config: Optional[ProtectConfig] = None,
+    use_cache: bool = True,
+) -> ProtectedProgram:
+    """Protect one already-built program through the cached pipeline.
+
+    The single-program entry point the benchmarks use; equivalent to
+    ``Parallax(config).protect(program)`` but named for intent.
+    """
+    return Parallax(config).protect(program, use_cache=use_cache)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _run_task(task: dict) -> dict:
+    """Build, protect (and optionally verify) one program.
+
+    Runs under a private metrics registry so per-worker counts can be
+    merged deterministically in the parent; returns only picklable
+    data.  Used both by pool workers and the ``jobs=1`` inline path.
+    """
+    name = task["name"]
+    config: ProtectConfig = task["config"]
+    registry = MetricsRegistry(enabled=True)
+    previous = set_metrics(registry)
+    try:
+        start = time.perf_counter()
+        program = build_program_cached(name)
+        protected = Parallax(config).protect(
+            program, use_cache=task["use_cache"]
+        )
+        elapsed = time.perf_counter() - start
+        behaviour = None
+        if task["verify"]:
+            baseline = program.run(max_steps=task["max_steps"])
+            run = protected.run(max_steps=task["max_steps"])
+            behaviour = (
+                not run.crashed
+                and run.stdout == baseline.stdout
+                and run.exit_status == baseline.exit_status
+            )
+        samples = registry.to_dict()
+    finally:
+        set_metrics(previous)
+    hits = samples.get("cache.protect.hits", {}).get("value", 0)
+    return {
+        "name": name,
+        "blob": pickle.dumps(
+            (protected.image, protected.report), protocol=pickle.HIGHEST_PROTOCOL
+        ),
+        "elapsed": elapsed,
+        "cache_hit": hits > 0,
+        "behaviour_preserved": behaviour,
+        "metrics": samples,
+        "pid": os.getpid(),
+    }
+
+
+def _worker_init(cache_dir: Optional[str], enabled: bool) -> None:
+    """Pool initializer: mirror the parent's cache configuration.
+
+    Under the ``spawn`` start method nothing is inherited, so the
+    parent's effective cache directory is re-applied explicitly; under
+    ``fork`` this simply rebuilds the manager with empty memory tiers
+    (the disk tier is the shared medium between processes).
+    """
+    configure_cache(cache_dir=cache_dir, enabled=enabled)
+    from .. import telemetry
+
+    telemetry.disable()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def protect_all(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[ProtectConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    verify: bool = False,
+    max_steps: int = 300_000_000,
+) -> List[PipelineResult]:
+    """Protect every named corpus program, optionally in parallel.
+
+    Args:
+        names: program names; defaults to the full six-program corpus.
+        config: base :class:`ProtectConfig`, specialized per program by
+            :func:`config_for_program`.
+        jobs: worker processes; ``1`` runs inline.
+        cache_dir: enable the on-disk cache tier at this path for this
+            run (and its workers).  ``None`` keeps the process-wide
+            cache configuration as-is.
+        use_cache: ``False`` forces full recomputation everywhere (the
+            differential tests' control arm).
+        verify: also run baseline and protected images and record
+            behavioural equality per program (slow: full emulation).
+        max_steps: emulation budget for ``verify``.
+
+    Returns:
+        :class:`PipelineResult` list in input order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    names = list(names if names is not None else PROGRAM_NAMES)
+    manager = cache_manager()
+    if cache_dir is not None and (
+        manager.cache_dir != cache_dir or not manager.enabled
+    ):
+        manager = configure_cache(cache_dir=cache_dir)
+    effective_cache_dir = manager.cache_dir
+    cache_enabled = manager.enabled
+
+    tasks = [
+        {
+            "name": name,
+            "config": config_for_program(name, config),
+            "use_cache": use_cache,
+            "verify": verify,
+            "max_steps": max_steps,
+        }
+        for name in names
+    ]
+
+    metrics = get_metrics()
+    tracer = get_tracer()
+    with tracer.span(
+        "protect_all", programs=len(tasks), jobs=jobs,
+        cache_dir=effective_cache_dir or "",
+    ):
+        if jobs == 1 or len(tasks) <= 1:
+            raw = [_run_task(task) for task in tasks]
+        else:
+            ctx = _mp_context()
+            pool_size = min(jobs, len(tasks))
+            with ctx.Pool(
+                pool_size,
+                initializer=_worker_init,
+                initargs=(effective_cache_dir, cache_enabled),
+            ) as pool:
+                raw = list(pool.imap(_run_task, tasks, chunksize=1))
+
+        results: List[PipelineResult] = []
+        for entry in raw:  # input order == task order (imap preserves it)
+            metrics.merge_samples(entry["metrics"])
+            image, report = pickle.loads(entry["blob"])
+            with tracer.span(
+                "pipeline.program",
+                program=entry["name"],
+                worker_pid=entry["pid"],
+                cache_hit=entry["cache_hit"],
+            ) as span:
+                span.set_attribute("elapsed_s", entry["elapsed"])
+            results.append(
+                PipelineResult(
+                    entry["name"],
+                    image,
+                    report,
+                    entry["elapsed"],
+                    entry["cache_hit"],
+                    entry["pid"],
+                    entry["behaviour_preserved"],
+                )
+            )
+        metrics.counter("pipeline.programs").inc(len(results))
+        metrics.counter("pipeline.cache_hits").inc(
+            sum(1 for r in results if r.cache_hit)
+        )
+        metrics.gauge("pipeline.jobs").set(jobs)
+    return results

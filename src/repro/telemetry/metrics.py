@@ -348,6 +348,53 @@ class MetricsRegistry:
             for name in sorted(self._instruments)
         }
 
+    # -- merging (parallel pipeline workers) ---------------------------
+
+    def merge_samples(self, samples: Dict[str, dict]) -> None:
+        """Fold exported samples (another registry's :meth:`to_dict`)
+        into this registry.
+
+        Used by the parallel protection pipeline to combine per-worker
+        registries into one: counters add, gauges take the incoming
+        value (workers are merged in deterministic input order, so the
+        result is reproducible), histograms add per-bucket counts.
+        A disabled registry ignores merges, matching its accessors.
+        """
+        if not self.enabled:
+            return
+        for name, sample in samples.items():
+            kind = sample.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(sample["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(sample["value"])
+            elif kind == "histogram":
+                bounds = tuple(
+                    float(b["le"]) for b in sample["buckets"] if b["le"] != "+Inf"
+                )
+                histogram = self.histogram(name, buckets=bounds or (1.0,))
+                if histogram.buckets != bounds:
+                    raise ValueError(
+                        f"histogram {name}: bucket bounds differ, cannot merge"
+                    )
+                for index, bucket in enumerate(sample["buckets"]):
+                    histogram.counts[index] += bucket["count"]
+                histogram.count += sample["count"]
+                histogram.sum += sample["sum"]
+                for attr in ("min", "max"):
+                    incoming = sample.get(attr)
+                    if incoming is None:
+                        continue
+                    current = getattr(histogram, attr)
+                    if current is None:
+                        setattr(histogram, attr, incoming)
+                    elif attr == "min":
+                        setattr(histogram, attr, min(current, incoming))
+                    else:
+                        setattr(histogram, attr, max(current, incoming))
+            else:
+                raise ValueError(f"cannot merge sample of type {kind!r}")
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 

@@ -29,6 +29,12 @@ class Register:
     def __repr__(self) -> str:
         return self.name
 
+    def __reduce__(self):
+        # Preserve interning across pickling (multiprocessing results,
+        # the on-disk gadget cache): unpickling resolves back to the
+        # module-level singleton, keeping identity comparison safe.
+        return (Register.by_name, (self.name,))
+
     @property
     def is_gp32(self) -> bool:
         return self.width == 32

@@ -1,0 +1,59 @@
+"""Corpus generation is deterministic across process boundaries.
+
+The content-addressed cache keys corpus programs by
+``package_source_digest()`` + name only — that is sound *only if* a
+fixed-seed build produces identical bytes every time, in every
+process.  These tests pin that assumption down.
+"""
+
+import subprocess
+import sys
+
+from repro.corpus import PROGRAM_NAMES, build_program, build_program_cached
+
+_SNIPPET = """\
+import sys
+from repro.corpus import PROGRAM_NAMES, build_program
+for name in PROGRAM_NAMES:
+    print(name, build_program(name).image.fingerprint())
+"""
+
+
+def _fingerprints_in_subprocess():
+    out = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    return dict(line.split() for line in out.splitlines())
+
+
+def test_rebuild_in_process_is_byte_identical():
+    for name in PROGRAM_NAMES:
+        first = build_program(name)
+        second = build_program(name)
+        assert first.image.canonical_bytes() == second.image.canonical_bytes()
+
+
+def test_rebuild_across_processes_is_byte_identical():
+    local = {
+        name: build_program(name).image.fingerprint() for name in PROGRAM_NAMES
+    }
+    assert _fingerprints_in_subprocess() == local
+
+
+def test_cached_build_matches_uncached():
+    from repro.cache import cache_session
+
+    for name in PROGRAM_NAMES:
+        reference = build_program(name)
+        with cache_session():
+            cold = build_program_cached(name)
+            warm = build_program_cached(name)
+        assert (
+            reference.image.canonical_bytes()
+            == cold.image.canonical_bytes()
+            == warm.image.canonical_bytes()
+        )
+        assert warm.image is not cold.image  # fresh graph per hit

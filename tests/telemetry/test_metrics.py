@@ -156,3 +156,55 @@ def test_telemetry_session_scopes_and_restores():
         metrics.counter("inside").inc()
     assert get_metrics() is before
     assert "inside" not in get_metrics()
+
+
+def test_merge_samples_counters_add_gauges_set():
+    worker_a = MetricsRegistry(enabled=True)
+    worker_a.counter("jobs").inc(3)
+    worker_a.gauge("depth").set(5)
+    worker_b = MetricsRegistry(enabled=True)
+    worker_b.counter("jobs").inc(4)
+    worker_b.gauge("depth").set(9)
+
+    parent = MetricsRegistry(enabled=True)
+    parent.counter("jobs").inc()
+    parent.merge_samples(worker_a.to_dict())
+    parent.merge_samples(worker_b.to_dict())
+    assert parent.counter("jobs").value == 8
+    assert parent.gauge("depth").value == 9  # last merge wins
+
+
+def test_merge_samples_histograms_fold_buckets_and_extremes():
+    worker_a = MetricsRegistry(enabled=True)
+    worker_a.histogram("lat", buckets=(1, 10)).observe(0.5)
+    worker_a.histogram("lat", buckets=(1, 10)).observe(200)
+    worker_b = MetricsRegistry(enabled=True)
+    worker_b.histogram("lat", buckets=(1, 10)).observe(7)
+
+    parent = MetricsRegistry(enabled=True)
+    parent.merge_samples(worker_a.to_dict())
+    parent.merge_samples(worker_b.to_dict())
+    hist = parent.histogram("lat", buckets=(1, 10))
+    counts = dict(hist.bucket_counts())
+    assert counts[1.0] == 1 and counts[10.0] == 1
+    assert counts[float("inf")] == 1
+    assert hist.count == 3
+    assert hist.sum == pytest.approx(207.5)
+    assert hist.min == 0.5 and hist.max == 200
+
+
+def test_merge_samples_rejects_mismatched_buckets():
+    worker = MetricsRegistry(enabled=True)
+    worker.histogram("lat", buckets=(1, 10)).observe(2)
+    parent = MetricsRegistry(enabled=True)
+    parent.histogram("lat", buckets=(5, 50)).observe(2)
+    with pytest.raises(ValueError):
+        parent.merge_samples(worker.to_dict())
+
+
+def test_merge_samples_disabled_registry_is_noop():
+    worker = MetricsRegistry(enabled=True)
+    worker.counter("jobs").inc(5)
+    parent = MetricsRegistry(enabled=False)
+    parent.merge_samples(worker.to_dict())
+    assert "jobs" not in parent
