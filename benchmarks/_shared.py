@@ -20,6 +20,11 @@ from repro.pipeline import protect_one
 
 MAX_STEPS = 300_000_000
 
+#: Engine every benchmark emulation routes through.  Defaults to the
+#: block engine so published numbers reflect the fast path; set
+#: REPRO_EMU_ENGINE=step to benchmark the reference interpreter.
+ENGINE = os.environ.get("REPRO_EMU_ENGINE", "block")
+
 #: Every benchmark process leaves a metrics artifact next to its
 #: results so pipeline counters (gadget scans, chain words, emulated
 #: instructions) can be compared across runs.  Path overridable via
@@ -54,7 +59,7 @@ def program(name):
 
 @lru_cache(maxsize=None)
 def baseline_run(name):
-    result = program(name).run(max_steps=MAX_STEPS)
+    result = program(name).run(max_steps=MAX_STEPS, engine=ENGINE)
     assert not result.crashed, (name, result.fault)
     return result
 
@@ -69,17 +74,17 @@ def protected(name, strategy):
 
 @lru_cache(maxsize=None)
 def protected_run(name, strategy):
-    result = protected(name, strategy).run(max_steps=MAX_STEPS)
+    result = protected(name, strategy).run(max_steps=MAX_STEPS, engine=ENGINE)
     base = baseline_run(name)
     assert not result.crashed, (name, strategy, result.fault)
     assert result.stdout == base.stdout, (name, strategy)
     return result
 
 
-def digest_call_cycles(name, image):
+def digest_call_cycles(name, image, engine=None):
     """Cycles for one verification-function call on ``image``."""
     prog = program(name)
-    emulator = Emulator(image, max_steps=20_000_000)
+    emulator = Emulator(image, max_steps=20_000_000, engine=engine or ENGINE)
     before = emulator.cycles
     emulator.call_function(
         image.symbols[f"digest_{name}"].vaddr,

@@ -1,0 +1,171 @@
+"""Emulator throughput: block engine vs. step engine.
+
+Measures instructions/sec for both execution engines on the two
+workload shapes the paper's evaluation leans on:
+
+* **chain** — repeated verification-function calls on a protected
+  image (fig. 5a's workload: ROP-chain heavy, ret-dominated);
+* **program** — whole corpus-program runs (fig. 5b's workload).
+
+Every measurement doubles as a differential check: steps, cycles and
+observable outputs must match between engines exactly, and any
+mismatch is recorded (and fails the run).
+
+Emits ``BENCH_emulator.json`` next to this file (override with
+``--output`` or ``REPRO_BENCH_EMULATOR``).  Runs standalone::
+
+    PYTHONPATH=src python benchmarks/bench_emulator_throughput.py \
+        --programs gzip lame --min-speedup 2.0
+
+or under pytest-benchmark with the rest of the suite.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import _shared  # noqa: E402
+
+from repro.emu import Emulator, run_image  # noqa: E402
+
+DEFAULT_OUTPUT = os.environ.get(
+    "REPRO_BENCH_EMULATOR",
+    os.path.join(os.path.dirname(__file__), "BENCH_emulator.json"),
+)
+
+#: Verification calls per chain measurement (steady-state: block cache warm
+#: after the first call).
+CHAIN_REPEATS = 40
+
+
+def _digest_args(name):
+    prog = _shared.program(name)
+    image = _shared.protected(name, "cleartext").image
+    return image, image.symbols[f"digest_{name}"].vaddr, [
+        12345, 7, prog.data.addr("stats"),
+    ]
+
+
+def measure_chain(name, engine):
+    """Repeated protected-digest calls; returns (ips, state-signature)."""
+    image, vaddr, args = _digest_args(name)
+    emulator = Emulator(image, max_steps=200_000_000, engine=engine)
+    emulator.call_function(vaddr, args)  # warm caches / first-call compile
+    start_steps, start_cycles = emulator.steps, emulator.cycles
+    t0 = time.perf_counter()
+    for _ in range(CHAIN_REPEATS):
+        eax = emulator.call_function(vaddr, args)
+    elapsed = time.perf_counter() - t0
+    steps = emulator.steps - start_steps
+    signature = (steps, emulator.cycles - start_cycles, eax)
+    return steps / elapsed, signature
+
+
+def measure_program(name, engine):
+    """One whole-program run; returns (ips, full RunResult signature)."""
+    image = _shared.program(name).image
+    t0 = time.perf_counter()
+    result = run_image(image, max_steps=_shared.MAX_STEPS, engine=engine)
+    elapsed = time.perf_counter() - t0
+    signature = (
+        result.exit_status, result.steps, result.cycles,
+        result.stdout.hex(), repr(result.fault),
+    )
+    return result.steps / elapsed, signature
+
+
+def run_suite(programs, output=DEFAULT_OUTPUT):
+    rows = {}
+    mismatches = []
+    for name in programs:
+        row = {}
+        for kind, measure in (("chain", measure_chain), ("program", measure_program)):
+            step_ips, step_sig = measure(name, "step")
+            block_ips, block_sig = measure(name, "block")
+            if step_sig != block_sig:
+                mismatches.append(
+                    {"program": name, "workload": kind,
+                     "step": list(step_sig), "block": list(block_sig)}
+                )
+            row[kind] = {
+                "step_ips": round(step_ips),
+                "block_ips": round(block_ips),
+                "speedup": round(block_ips / step_ips, 2),
+                "identical": step_sig == block_sig,
+            }
+        rows[name] = row
+
+    def geomean(kind):
+        vals = [rows[n][kind]["speedup"] for n in rows]
+        return round(math.exp(sum(math.log(v) for v in vals) / len(vals)), 2)
+
+    payload = {
+        "programs": rows,
+        "chain_speedup_geomean": geomean("chain"),
+        "program_speedup_geomean": geomean("program"),
+        "mismatches": mismatches,
+        "chain_repeats": CHAIN_REPEATS,
+    }
+    if output:
+        with open(output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    return payload
+
+
+def _print_report(payload):
+    print(f"{'program':<8} {'chain step':>11} {'chain block':>12} {'x':>6}"
+          f" {'prog step':>11} {'prog block':>12} {'x':>6}")
+    for name, row in payload["programs"].items():
+        c, p = row["chain"], row["program"]
+        print(f"{name:<8} {c['step_ips']:>11,} {c['block_ips']:>12,}"
+              f" {c['speedup']:>5.1f}x {p['step_ips']:>11,}"
+              f" {p['block_ips']:>12,} {p['speedup']:>5.1f}x")
+    print(f"\ngeomean speedup: chain {payload['chain_speedup_geomean']}x, "
+          f"program {payload['program_speedup_geomean']}x; "
+          f"{len(payload['mismatches'])} differential mismatch(es)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--programs", nargs="+", default=["gzip", "lame"],
+                        help="corpus programs to measure")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless the chain-workload geomean "
+                        "speedup reaches this factor")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write BENCH_emulator.json")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(args.programs, output=args.output)
+    _print_report(payload)
+    if payload["mismatches"]:
+        print("ERROR: engines diverged")
+        return 1
+    if payload["chain_speedup_geomean"] < args.min_speedup:
+        print(f"ERROR: chain speedup {payload['chain_speedup_geomean']}x "
+              f"below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+def test_emulator_throughput(benchmark):
+    payload = benchmark.pedantic(
+        lambda: run_suite(["gzip"]), rounds=1, iterations=1
+    )
+    _print_report(payload)
+    assert not payload["mismatches"]
+    assert payload["chain_speedup_geomean"] >= 2.0
+    assert payload["program_speedup_geomean"] >= 2.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

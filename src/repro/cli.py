@@ -30,6 +30,16 @@ from .corpus import PROGRAM_NAMES, build_program
 from .rewrite import RewriteEngine, format_fig6_table
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    from .emu import DEFAULT_ENGINE, ENGINES
+
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+        help="execution engine: 'block' (superblock compiler, default) "
+        "or 'step' (reference interpreter)",
+    )
+
+
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics", metavar="FILE", default=None,
@@ -74,7 +84,7 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     program = build_program(args.program)
-    result = program.run(debugger_attached=args.debugger)
+    result = program.run(debugger_attached=args.debugger, engine=args.engine)
     print(f"stdout : {result.stdout.decode(errors='replace')}")
     print(f"exit   : {result.exit_status}")
     print(f"steps  : {result.steps:,}   cycles: {result.cycles:,}")
@@ -86,10 +96,10 @@ def _cmd_run(args) -> int:
 
 def _cmd_protect(args) -> int:
     program = build_program(args.program)
-    baseline = program.run()
+    baseline = program.run(engine=args.engine)
     config = ProtectConfig(strategy=args.strategy, guard_chains=args.guard_chains)
     protected = Parallax(config).protect(program)
-    result = protected.run()
+    result = protected.run(engine=args.engine)
     diverged = result.crashed or result.stdout != baseline.stdout
     overhead = 100 * (result.cycles / baseline.cycles - 1)
     if args.json:
@@ -183,7 +193,7 @@ def _cmd_attack(args) -> int:
     from .attacks.patching import corrupt_byte
 
     program = build_program(args.program)
-    goal = program.run()
+    goal = program.run(engine=args.engine)
     config = ProtectConfig(strategy=args.strategy)
     protected = Parallax(config).protect(program)
     image = protected.image
@@ -216,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run a corpus program")
     p_run.add_argument("program", choices=PROGRAM_NAMES)
+    _add_engine_arg(p_run)
     p_run.add_argument("--debugger", action="store_true",
                        help="attach the (simulated) debugger")
     _add_telemetry_args(p_run)
@@ -224,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_protect = sub.add_parser("protect", help="protect a program and re-run it")
     p_protect.add_argument("program", choices=PROGRAM_NAMES)
     p_protect.add_argument("--strategy", choices=STRATEGIES, default="cleartext")
+    _add_engine_arg(p_protect)
     p_protect.add_argument("--guard-chains", action="store_true",
                            help="enable the §VI-C chain-guard network")
     p_protect.add_argument("--json", action="store_true",
@@ -269,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack = sub.add_parser("attack", help="tamper demo on a protected program")
     p_attack.add_argument("program", choices=PROGRAM_NAMES)
     p_attack.add_argument("--strategy", choices=STRATEGIES, default="cleartext")
+    _add_engine_arg(p_attack)
     _add_telemetry_args(p_attack)
     p_attack.set_defaults(func=_cmd_attack)
 

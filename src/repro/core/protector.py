@@ -94,10 +94,14 @@ class ProtectedProgram:
         debugger_attached: bool = False,
         max_steps: int = 50_000_000,
         image: Optional[BinaryImage] = None,
+        engine: Optional[str] = None,
     ) -> RunResult:
         target = image if image is not None else self.image
         return run_image(
-            target, debugger_attached=debugger_attached, max_steps=max_steps
+            target,
+            debugger_attached=debugger_attached,
+            max_steps=max_steps,
+            engine=engine,
         )
 
     def __repr__(self) -> str:

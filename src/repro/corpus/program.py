@@ -107,11 +107,15 @@ class Program:
         debugger_attached: bool = False,
         max_steps: int = 10_000_000,
         image: Optional[BinaryImage] = None,
+        engine: Optional[str] = None,
     ) -> RunResult:
         """Execute the program's workload (optionally a modified image)."""
         target = image if image is not None else self.image
         return run_image(
-            target, debugger_attached=debugger_attached, max_steps=max_steps
+            target,
+            debugger_attached=debugger_attached,
+            max_steps=max_steps,
+            engine=engine,
         )
 
     def code_size(self) -> int:

@@ -1,7 +1,20 @@
 """IA-32 emulator substrate: memory with I/D split, CPU, toy OS, profiler."""
 
+from .blocks import BlockEngine
 from .cpu import CPUState
-from .emulator import CALL_SENTINEL, CYCLE_COSTS, Emulator, RunResult, run_image
+from .dispatch import DISPATCH
+from .emulator import (
+    CALL_SENTINEL,
+    CYCLE_COSTS,
+    DEFAULT_ENGINE,
+    ENGINE_BLOCK,
+    ENGINE_STEP,
+    ENGINES,
+    Emulator,
+    EmulatorConfig,
+    RunResult,
+    run_image,
+)
 from .errors import (
     BadFetch,
     BadMemoryAccess,
@@ -25,8 +38,10 @@ from .syscalls import (
 )
 
 __all__ = [
-    "CPUState", "Emulator", "RunResult", "run_image", "CALL_SENTINEL",
-    "CYCLE_COSTS", "Memory", "PAGE_SIZE",
+    "CPUState", "Emulator", "EmulatorConfig", "RunResult", "run_image",
+    "CALL_SENTINEL", "CYCLE_COSTS", "Memory", "PAGE_SIZE",
+    "BlockEngine", "DISPATCH",
+    "ENGINES", "ENGINE_BLOCK", "ENGINE_STEP", "DEFAULT_ENGINE",
     "BadFetch", "BadMemoryAccess", "DivideError", "EmulationError",
     "Halted", "StepLimitExceeded", "UnsupportedSyscall",
     "FunctionProfile", "Profiler", "profile_run",

@@ -1,0 +1,799 @@
+"""Block-compiled execution engine: predecoded, specialized superblocks.
+
+The step engine pays per instruction for a decode-cache probe, a
+mnemonic dispatch and a chain of ``isinstance`` checks over operands.
+This module removes all three: straight-line instruction runs are
+compiled **once** into a Python function (generated source, ``exec``'d)
+in which every operand access is specialized at compile time — register
+numbers become list indexes, immediates become literals, effective
+addresses become inline arithmetic, and scalar loads/stores go straight
+to the flat-segment buffer (:class:`repro.emu.memory.FlatSegment`)
+without a method call.  Instruction shapes outside the specializer's
+templates fall back to the shared semantic handlers in
+:mod:`repro.emu.dispatch`, pre-bound per instruction, so both engines
+execute identical semantics by construction.
+
+Superblocks extend through *non-taken* conditional branches (side
+exits) and terminate at any other control transfer.  Step and cycle
+accounting is batched: the totals are added once per block, and every
+early exit (taken jcc, fault, syscall, self-modifying write) charges
+the exact prefix the step engine would have charged, so ``RunResult``s
+are byte-identical between engines.
+
+Coherence model (what keys a block):
+
+* **Entry check** — a block records the write-counter version of each
+  page its bytes span.  ``Memory`` bumps those counters on data writes,
+  on Wurster code-view patches (:meth:`~repro.emu.memory.Memory.
+  patch_code_view`) and on their removal, so tampering — through either
+  the data or the instruction view — invalidates affected superblocks
+  before their next execution.
+* **In-block check** — a store that lands inside the block's own byte
+  range aborts the block *after* the store, exactly where the step
+  engine would first re-decode modified bytes.  Generic (non-inlined)
+  stores compare page versions instead, which is conservative but never
+  wrong.
+* Blocks whose bytes live on unversioned pages (the stack) are executed
+  but never cached.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..x86.instruction import CONDITIONAL_JUMPS, CONTROL_FLOW
+from ..x86.operands import Imm, Mem, Rel
+from ..x86.registers import Register
+from .cpu import MASK32
+from .dispatch import DISPATCH, RAS_DEPTH, RET_MISPREDICT_PENALTY, cost_of
+from .errors import BadFetch, BadMemoryAccess, EmulationError
+from .memory import _U16, _U32
+
+#: Upper bounds per superblock; 2048 bytes <= half a page, so a block
+#: spans at most two pages and validity is two dict probes.
+MAX_BLOCK_INSNS = 64
+MAX_BLOCK_BYTES = 2048
+
+#: Per-generation bound of the block cache (two generations resident).
+BLOCK_CACHE_GENERATION = 4096
+
+#: Mnemonics that always terminate a superblock.  Conditional jumps
+#: become side exits instead; anything unknown also terminates (its
+#: fault must be the last thing the block does).
+_TERMINATORS = CONTROL_FLOW - CONDITIONAL_JUMPS
+
+#: Condition-code suffix -> inline Python expression over ``cpu``.
+#: Mirrors :meth:`repro.emu.cpu.CPUState.condition` exactly (including
+#: the unmodelled parity flag).
+_CC_EXPR = {
+    "o": "cpu.of", "no": "not cpu.of",
+    "b": "cpu.cf", "ae": "not cpu.cf",
+    "e": "cpu.zf", "ne": "not cpu.zf",
+    "be": "(cpu.cf or cpu.zf)", "a": "not (cpu.cf or cpu.zf)",
+    "s": "cpu.sf", "ns": "not cpu.sf",
+    "p": "False", "np": "True",
+    "l": "cpu.sf != cpu.of", "ge": "cpu.sf == cpu.of",
+    "le": "(cpu.zf or cpu.sf != cpu.of)",
+    "g": "(not cpu.zf and cpu.sf == cpu.of)",
+}
+
+_LOGIC_OPS = {"and": "&", "or": "|", "xor": "^"}
+
+#: Shared globals for every generated block function.
+_SHARED_NS = {
+    "M": MASK32,
+    "BME": BadMemoryAccess,
+    "RMP": RET_MISPREDICT_PENALTY,
+    "RASD": RAS_DEPTH,
+    "_U32U": _U32.unpack_from,
+    "_U32P": _U32.pack_into,
+    "_U16U": _U16.unpack_from,
+}
+
+
+def _unimplemented(emu, insn):
+    raise EmulationError(
+        f"unimplemented mnemonic {insn.mnemonic!r}", eip=emu.cpu.eip
+    )
+
+
+def _is_r32(op) -> bool:
+    return isinstance(op, Register) and op.width == 32
+
+
+def _is_m32(op) -> bool:
+    return (
+        isinstance(op, Mem)
+        and op.width == 32
+        and (op.base is None or op.base.width == 32)
+        and (op.index is None or op.index.width == 32)
+    )
+
+
+def _mem_regs_ok(op: Mem) -> bool:
+    return (op.base is None or op.base.width == 32) and (
+        op.index is None or op.index.width == 32
+    )
+
+
+def _imm32(op) -> int:
+    """The value :meth:`Emulator._read_operand` yields for ``op`` at 32 bits."""
+    if op.width < 32:
+        return op.signed & MASK32
+    return op.value
+
+
+def _ea_expr(op: Mem) -> str:
+    """Inline effective-address expression (masked), or a constant."""
+    parts = []
+    if op.base is not None:
+        parts.append(f"regs[{op.base.code}]")
+    if op.index is not None:
+        scale = f" * {op.scale}" if op.scale != 1 else ""
+        parts.append(f"regs[{op.index.code}]{scale}")
+    if not parts:
+        return str(op.disp & MASK32)
+    expr = " + ".join(parts)
+    if op.disp:
+        expr = f"{expr} + {op.disp}"
+    return f"({expr}) & M"
+
+
+def _reg_read_expr(op: Register) -> Optional[str]:
+    """Inline expression for reading a register of any width."""
+    if op.width == 32:
+        return f"regs[{op.code}]"
+    if op.width == 16:
+        return f"(regs[{op.code}] & 0xFFFF)"
+    if op.code < 4:  # al/cl/dl/bl
+        return f"(regs[{op.code}] & 0xFF)"
+    return f"((regs[{op.code - 4}] >> 8) & 0xFF)"  # ah/ch/dh/bh
+
+
+class CompiledBlock:
+    """One compiled superblock and its validity stamp."""
+
+    __slots__ = (
+        "start", "end", "n", "fn", "p0", "v0", "p1", "v1", "cacheable", "epoch",
+    )
+
+    def __init__(self, start, end, n, fn, pages, cacheable, epoch):
+        self.start = start
+        self.end = end
+        self.n = n
+        self.fn = fn
+        (self.p0, self.v0) = pages[0]
+        (self.p1, self.v1) = pages[1] if len(pages) > 1 else (-1, 0)
+        self.cacheable = cacheable
+        #: memory.write_epoch at stamp time; equality proves validity
+        #: without per-page probes (refreshed on successful re-check).
+        self.epoch = epoch
+
+    def __repr__(self) -> str:
+        return f"<CompiledBlock {self.start:#x}..{self.end:#x} n={self.n}>"
+
+
+class BlockEngine:
+    """Superblock cache + execution loop bound to one :class:`Emulator`."""
+
+    def __init__(self, emulator):
+        self.emulator = emulator
+        self._cache = {}
+        self._old = {}
+        # telemetry (recorded at run end by the emulator)
+        self.compiled = 0
+        self.hits = 0
+        self.invalidated = 0
+        self.write_aborts = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, stop: Optional[int] = None) -> None:
+        """Execute until ``ExitProgram``/fault, or until eip == ``stop``.
+
+        Exceptions propagate with step/cycle accounting already exact,
+        so the caller handles them exactly as it would the step engine's.
+        """
+        emu = self.emulator
+        cpu = emu.cpu
+        mem = emu.memory
+        vget = mem._versions.get
+        max_steps = emu.max_steps
+        cache = self._cache
+        old = self._old
+        hits = 0
+        try:
+            while True:
+                eip = cpu.eip
+                if eip == stop:
+                    return
+                b = cache.get(eip)
+                if b is None and old:
+                    b = old.get(eip)
+                    if b is not None:  # promote the survivor
+                        cache[eip] = b
+                if b is not None:
+                    epoch = mem.write_epoch
+                    if b.epoch != epoch:
+                        if b.v0 != vget(b.p0, 0) or (
+                            b.p1 >= 0 and b.v1 != vget(b.p1, 0)
+                        ):
+                            self.invalidated += 1
+                            b = None
+                        else:
+                            b.epoch = epoch
+                            hits += 1
+                    else:
+                        hits += 1
+                if b is None:
+                    b = self._compile(eip)
+                    self.compiled += 1
+                    if b.cacheable:
+                        if len(cache) >= BLOCK_CACHE_GENERATION:
+                            self._old = old = cache
+                            self._cache = cache = {}
+                        cache[eip] = b
+                if emu.steps + b.n > max_steps:
+                    # Near the budget: single-step so StepLimitExceeded
+                    # fires on exactly the same instruction as the step
+                    # engine.
+                    emu.step()
+                    continue
+                if b.fn(emu, cpu, mem):
+                    self.write_aborts += 1
+        finally:
+            self.hits += hits
+
+    def run_steps(self, n: int) -> None:
+        """Execute exactly ``n`` instructions (attack drivers, tests).
+
+        Blocks that would overshoot the target are replaced by single
+        steps, so the emulator lands on precisely the same instruction
+        boundary as ``n`` calls to :meth:`Emulator.step`.
+        """
+        emu = self.emulator
+        cpu = emu.cpu
+        mem = emu.memory
+        target = emu.steps + n
+        while emu.steps < target:
+            b = self._lookup(cpu.eip)
+            if b is None or emu.steps + b.n > min(target, emu.max_steps):
+                emu.step()
+                continue
+            self.hits += 1
+            if b.fn(emu, cpu, mem):
+                self.write_aborts += 1
+
+    def _lookup(self, eip: int):
+        """Valid cached block for ``eip``, compiling (and caching) on miss."""
+        cache = self._cache
+        b = cache.get(eip)
+        if b is None and self._old:
+            b = self._old.get(eip)
+            if b is not None:
+                cache[eip] = b
+        if b is not None:
+            mem = self.emulator.memory
+            if b.epoch != mem.write_epoch:
+                vget = mem._versions.get
+                if b.v0 != vget(b.p0, 0) or (
+                    b.p1 >= 0 and b.v1 != vget(b.p1, 0)
+                ):
+                    self.invalidated += 1
+                    b = None
+                else:
+                    b.epoch = mem.write_epoch
+        if b is None:
+            b = self._compile(eip)
+            self.compiled += 1
+            if b.cacheable:
+                if len(cache) >= BLOCK_CACHE_GENERATION:
+                    self._old = cache
+                    self._cache = cache = {}
+                cache[eip] = b
+        return b
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def _compile(self, start: int) -> CompiledBlock:
+        emu = self.emulator
+        insns = [emu._fetch_decode(start)]  # BadFetch here propagates,
+        # exactly as the step engine faults before counting the step.
+        addr = start + insns[0].length
+        while (
+            insns[-1].mnemonic not in _TERMINATORS
+            and insns[-1].mnemonic in DISPATCH
+            and len(insns) < MAX_BLOCK_INSNS
+        ):
+            last = insns[-1]
+            if last.mnemonic in CONDITIONAL_JUMPS and not (
+                isinstance(last.operands[0], Rel)
+                and last.operands[0].target is not None
+            ):
+                break  # can't side-exit a jcc we can't specialize
+            try:
+                insn = emu._fetch_decode(addr)
+            except BadFetch:
+                break  # the *next* block will raise at execution time
+            if addr + insn.length - start > MAX_BLOCK_BYTES:
+                break
+            insns.append(insn)
+            addr += insn.length
+        end = addr
+
+        mem = emu.memory
+        first_page = start >> 12
+        last_page = (end - 1) >> 12
+        pages = [(first_page, mem._versions.get(first_page, 0))]
+        if last_page != first_page:
+            pages.append((last_page, mem._versions.get(last_page, 0)))
+        cacheable = all(mem.page_is_versioned(p << 12) for p, _ in pages)
+
+        fn = self._generate(start, end, insns)
+        return CompiledBlock(
+            start, end, len(insns), fn, pages, cacheable, mem.write_epoch
+        )
+
+    def _generate(self, start: int, end: int, insns):
+        """Emit, compile and exec the block's specialized source."""
+        nexts = []
+        cum = []
+        total = 0
+        a = start
+        for insn in insns:
+            a += insn.length
+            nexts.append(a)
+            total += cost_of(insn)
+            cum.append(total)
+
+        handlers = []
+        body = []
+        n = len(insns)
+        for i, insn in enumerate(insns):
+            handlers.append(DISPATCH.get(insn.mnemonic, _unimplemented))
+            body.append(f"# {nexts[i] - insn.length:#x}: {insn.text()}")
+            self._emit_insn(
+                body, i, insn,
+                nxt=nexts[i], cum=cum[i],
+                start=start, end=end,
+                final=(i == n - 1),
+            )
+
+        mem = self.emulator.memory
+        pages = sorted({start >> 12, (end - 1) >> 12})
+        version_checks = " or ".join(
+            f"_VG({p}, 0) != {mem._versions.get(p, 0)}" for p in pages
+        )
+        # substitute the placeholder used by generic write-checks
+        body = [line.replace("__VERSION_CHECK__", version_checks) for line in body]
+
+        name = f"_block_{start:x}"
+        lines = [
+            f"def {name}(emu, cpu, mem):",
+            "    regs = cpu.regs",
+            "    try:",
+        ]
+        lines.extend("        " + line for line in body)
+        lines.extend([
+            "    except BaseException:",
+            "        _eip = cpu.eip",
+            "        if _eip in _NS:",  # false only for async interrupts
+            "            _i = _NEXTS.index(_eip)",
+            "            emu.steps += _i + 1",
+            "            emu.cycles += _CUM[_i]",
+            "        raise",
+            f"    emu.steps += {n}",
+            f"    emu.cycles += {total}",
+        ])
+        source = "\n".join(lines)
+        namespace = dict(_SHARED_NS)
+        namespace.update(
+            _I=tuple(insns),
+            _H=tuple(handlers),
+            _NEXTS=tuple(nexts),
+            _NS=frozenset(nexts),
+            _CUM=tuple(cum),
+            # Per-emulator bindings: the engine is bound to one Memory,
+            # whose segment table and version dict are never reassigned.
+            _SG=mem._seg_by_page.get,
+            _VS=mem._versions,
+            _VG=mem._versions.get,
+        )
+        exec(compile(source, f"<block {start:#x}>", "exec"), namespace)
+        return namespace[name]
+
+    # -- inline memory templates ---------------------------------------
+    #
+    # These replicate Memory.read_u32/write_u32 (flat-segment fast path
+    # plus paged fallback) without the method call.  The fallback call
+    # keeps its own fast/slow counters, so telemetry stays accurate.
+
+    @staticmethod
+    def _load32(body, addr_var, dest):
+        body.append(f"_g = _SG({addr_var} >> 12)")
+        body.append(
+            f"if _g is not None and (_o := {addr_var} - _g.base) <= _g.limit:"
+        )
+        body.append("    mem.fast_loads += 1")
+        body.append(f"    {dest} = _U32U(_g.data, _o)[0]")
+        body.append("else:")
+        body.append(f"    {dest} = mem.read_u32({addr_var})")
+
+    @staticmethod
+    def _store32(body, addr_var, value_expr):
+        body.append(f"_g = _SG({addr_var} >> 12)")
+        body.append(
+            f"if _g is not None and (_o := {addr_var} - _g.base) <= _g.limit:"
+        )
+        body.append("    mem.fast_stores += 1")
+        body.append(f"    _U32P(_g.data, _o, {value_expr})")
+        body.append("    if _g.versioned:")
+        body.append("        mem.write_epoch += 1")
+        body.append(f"        _n = {addr_var} >> 12")
+        body.append("        _VS[_n] = _VG(_n, 0) + 1")
+        body.append(f"        if ({addr_var} + 3) >> 12 != _n:")
+        body.append("            _VS[_n + 1] = _VG(_n + 1, 0) + 1")
+        body.append("else:")
+        body.append(f"    mem.write_u32({addr_var}, {value_expr})")
+
+    # -- per-instruction emission --------------------------------------
+
+    def _emit_insn(self, body, i, insn, nxt, cum, start, end, final):
+        m = insn.mnemonic
+        if self._try_specialize(body, i, insn, nxt, cum, start, end, final):
+            return
+        # Generic fallback: pre-bound shared handler.
+        body.append(f"cpu.eip = {nxt}")
+        body.append(f"_H[{i}](emu, _I[{i}])")
+        if insn.writes_memory() and not final:
+            body.append("if __VERSION_CHECK__:")
+            body.append(f"    emu.steps += {i + 1}")
+            body.append(f"    emu.cycles += {cum}")
+            body.append("    return 1")
+
+    def _try_specialize(self, body, i, insn, nxt, cum, start, end, final) -> bool:
+        m = insn.mnemonic
+        ops = insn.operands
+
+        def set_eip_if_final():
+            if final:
+                body.append(f"cpu.eip = {nxt}")
+
+        def guarded_load(mem_op, dest):
+            """Faulting load with the step engine's BME eip wrap."""
+            body.append(f"cpu.eip = {nxt}")
+            body.append(f"_a = {_ea_expr(mem_op)}")
+            body.append("try:")
+            sub = []
+            if mem_op.width == 32:
+                self._load32(sub, "_a", dest)
+            elif mem_op.width == 8:
+                sub.append("_g = _SG(_a >> 12)")
+                sub.append("if _g is not None:")
+                sub.append("    mem.fast_loads += 1")
+                sub.append(f"    {dest} = _g.data[_a - _g.base]")
+                sub.append("else:")
+                sub.append(f"    {dest} = mem.read_u8(_a)")
+            else:  # 16
+                sub.append("_g = _SG(_a >> 12)")
+                sub.append("if _g is not None and (_o := _a - _g.base) <= _g.limit:")
+                sub.append("    mem.fast_loads += 1")
+                sub.append(f"    {dest} = _U16U(_g.data, _o)[0]")
+                sub.append("else:")
+                sub.append(f"    {dest} = mem.read_u16(_a)")
+            body.extend("    " + line for line in sub)
+            body.append("except BME as exc:")
+            body.append(f"    raise BME(str(exc), eip={nxt}) from exc")
+
+        def guarded_store32(mem_op, value_expr):
+            """Faulting dword store + self-modifying-range abort check."""
+            body.append(f"cpu.eip = {nxt}")
+            body.append(f"_a = {_ea_expr(mem_op)}")
+            body.append("try:")
+            sub = []
+            self._store32(sub, "_a", value_expr)
+            body.extend("    " + line for line in sub)
+            body.append("except BME as exc:")
+            body.append(f"    raise BME(str(exc), eip={nxt}) from exc")
+            # Self-modifying store into this block's own bytes: stop
+            # after the store, exactly where re-decode would begin.
+            body.append(f"if _a < {end} and _a + 4 > {start}:")
+            body.append(f"    emu.steps += {i + 1}")
+            body.append(f"    emu.cycles += {cum}")
+            body.append("    return 1")
+
+        def alu_src_expr(op) -> Optional[str]:
+            if _is_r32(op):
+                return f"regs[{op.code}]"
+            if isinstance(op, Imm):
+                return str(_imm32(op))
+            return None
+
+        # ---- data movement ------------------------------------------
+        if m == "mov":
+            dst, src = ops
+            if _is_r32(dst):
+                if _is_r32(src):
+                    body.append(f"regs[{dst.code}] = regs[{src.code}]")
+                    set_eip_if_final()
+                    return True
+                if isinstance(src, Imm):
+                    body.append(f"regs[{dst.code}] = {_imm32(src)}")
+                    set_eip_if_final()
+                    return True
+                if _is_m32(src):
+                    guarded_load(src, f"regs[{dst.code}]")
+                    return True
+                return False
+            if _is_m32(dst):
+                if _is_r32(src):
+                    guarded_store32(dst, f"regs[{src.code}]")
+                    return True
+                if isinstance(src, Imm):
+                    guarded_store32(dst, str(_imm32(src)))
+                    return True
+            return False
+
+        if m in ("movzx", "movsx") and _is_r32(ops[0]):
+            src = ops[1]
+            if isinstance(src, Register) and src.width in (8, 16):
+                value = _reg_read_expr(src)
+                if m == "movzx":
+                    body.append(f"regs[{ops[0].code}] = {value}")
+                else:
+                    sign = 1 << (src.width - 1)
+                    full = 1 << src.width
+                    body.append(f"_v = {value}")
+                    body.append(
+                        f"regs[{ops[0].code}] = (_v - {full}) & M if _v >= {sign} else _v"
+                    )
+                set_eip_if_final()
+                return True
+            if (
+                isinstance(src, Mem)
+                and src.width in (8, 16)
+                and _mem_regs_ok(src)
+            ):
+                guarded_load(src, "_v")
+                if m == "movzx":
+                    body.append(f"regs[{ops[0].code}] = _v")
+                else:
+                    sign = 1 << (src.width - 1)
+                    full = 1 << src.width
+                    body.append(
+                        f"regs[{ops[0].code}] = (_v - {full}) & M if _v >= {sign} else _v"
+                    )
+                return True
+            return False
+
+        if m == "lea" and _is_r32(ops[0]) and isinstance(ops[1], Mem):
+            if not _mem_regs_ok(ops[1]):
+                return False
+            body.append(f"regs[{ops[0].code}] = {_ea_expr(ops[1])}")
+            set_eip_if_final()
+            return True
+
+        # ---- stack --------------------------------------------------
+        if m == "push" and len(ops) == 1 and (_is_r32(ops[0]) or isinstance(ops[0], Imm)):
+            value = (
+                f"regs[{ops[0].code}]" if _is_r32(ops[0]) else str(_imm32(ops[0]))
+            )
+            body.append(f"cpu.eip = {nxt}")
+            body.append(f"_v = {value}")  # read before esp moves (push esp)
+            body.append("_s = (regs[4] - 4) & M")
+            body.append("regs[4] = _s")
+            self._store32(body, "_s", "_v")  # unwrapped, like Emulator.push
+            return True
+
+        if m == "pop" and len(ops) == 1 and _is_r32(ops[0]):
+            body.append(f"cpu.eip = {nxt}")
+            body.append("_s = regs[4]")
+            self._load32(body, "_s", "_v")  # unwrapped, like Emulator.pop
+            body.append("regs[4] = (_s + 4) & M")
+            body.append(f"regs[{ops[0].code}] = _v")
+            return True
+
+        if m == "leave" and not ops:
+            body.append(f"cpu.eip = {nxt}")
+            body.append("_s = regs[5]")
+            body.append("regs[4] = _s")  # esp = ebp even if the pop faults
+            self._load32(body, "_s", "_v")
+            body.append("regs[4] = (_s + 4) & M")
+            body.append("regs[5] = _v")
+            return True
+
+        # ---- control flow (terminators / side exits) ----------------
+        if m == "ret" and (not ops or isinstance(ops[0], Imm)):
+            extra = 4 + (ops[0].value if ops else 0)
+            body.append(f"cpu.eip = {nxt}")
+            body.append("_s = regs[4]")
+            self._load32(body, "_s", "_t")
+            body.append(f"regs[4] = (_s + {extra}) & M")
+            body.append("cpu.eip = _t")
+            body.append("_r = emu._ras")
+            body.append("if _r and _r[-1] == _t:")
+            body.append("    _r.pop()")
+            body.append("else:")
+            body.append("    if _r:")
+            body.append("        _r.pop()")
+            body.append("    emu.ret_mispredicts += 1")
+            body.append("    emu.cycles += RMP")
+            return True
+
+        if m == "jmp" and isinstance(ops[0], Rel) and ops[0].target is not None:
+            body.append(f"cpu.eip = {ops[0].target & MASK32}")
+            return True
+
+        if m == "call" and isinstance(ops[0], Rel) and ops[0].target is not None:
+            body.append(f"cpu.eip = {nxt}")
+            body.append("_s = (regs[4] - 4) & M")
+            body.append("regs[4] = _s")
+            self._store32(body, "_s", str(nxt))
+            body.append("_r = emu._ras")
+            body.append("if len(_r) >= RASD:")
+            body.append("    del _r[0]")
+            body.append(f"_r.append({nxt})")
+            body.append(f"cpu.eip = {ops[0].target & MASK32}")
+            return True
+
+        if (
+            m in CONDITIONAL_JUMPS
+            and isinstance(ops[0], Rel)
+            and ops[0].target is not None
+        ):
+            cond = _CC_EXPR[m[1:]]
+            target = ops[0].target & MASK32
+            if final:
+                body.append(f"cpu.eip = {target} if {cond} else {nxt}")
+            else:
+                body.append(f"if {cond}:")  # side exit; else fall through
+                body.append(f"    cpu.eip = {target}")
+                body.append(f"    emu.steps += {i + 1}")
+                body.append(f"    emu.cycles += {cum}")
+                body.append("    return")
+            return True
+
+        # ---- ALU ----------------------------------------------------
+        if (
+            m in ("add", "adc", "sub", "sbb", "cmp")
+            and len(ops) == 2
+            and _is_r32(ops[0])
+        ):
+            src = alu_src_expr(ops[1])
+            if src is None:
+                if not _is_m32(ops[1]):
+                    return False
+                guarded_load(ops[1], "_b")
+                src = "_b"
+            d = ops[0].code
+            body.append(f"_a = regs[{d}]")
+            if src != "_b":
+                body.append(f"_b = {src}")
+            if m in ("add", "adc"):
+                carry = " + cpu.cf" if m == "adc" else ""
+                body.append(f"_raw = _a + _b{carry}")
+                body.append("_res = _raw & M")
+                body.append("cpu.cf = _raw > M")
+                body.append("cpu.of = bool((~(_a ^ _b)) & (_a ^ _res) & 0x80000000)")
+            else:  # sub / sbb / cmp
+                borrow = " - cpu.cf" if m == "sbb" else ""
+                body.append(f"_raw = _a - _b{borrow}")
+                body.append("_res = _raw & M")
+                body.append("cpu.cf = _raw < 0")
+                body.append("cpu.of = bool((_a ^ _b) & (_a ^ _res) & 0x80000000)")
+            body.append("cpu.zf = _res == 0")
+            body.append("cpu.sf = _res >= 0x80000000")
+            if m != "cmp":
+                body.append(f"regs[{d}] = _res")
+            if src != "_b":  # memory source already pinned eip
+                set_eip_if_final()
+            return True
+
+        if m in _LOGIC_OPS and len(ops) == 2 and _is_r32(ops[0]):
+            src = alu_src_expr(ops[1])
+            if src is None:
+                if not _is_m32(ops[1]):
+                    return False
+                guarded_load(ops[1], "_b")
+                src = "_b"
+            d = ops[0].code
+            body.append(f"_res = regs[{d}] {_LOGIC_OPS[m]} {src}")
+            body.append("cpu.cf = False")
+            body.append("cpu.of = False")
+            body.append("cpu.zf = _res == 0")
+            body.append("cpu.sf = _res >= 0x80000000")
+            body.append(f"regs[{d}] = _res")
+            if src != "_b":
+                set_eip_if_final()
+            return True
+
+        if m == "test" and len(ops) == 2 and _is_r32(ops[0]):
+            src = alu_src_expr(ops[1])
+            if src is None:
+                if not _is_m32(ops[1]):
+                    return False
+                guarded_load(ops[1], "_b")
+                src = "_b"
+            body.append(f"_res = regs[{ops[0].code}] & {src}")
+            body.append("cpu.cf = False")
+            body.append("cpu.of = False")
+            body.append("cpu.zf = _res == 0")
+            body.append("cpu.sf = _res >= 0x80000000")
+            if src != "_b":
+                set_eip_if_final()
+            return True
+
+        if m in ("inc", "dec") and len(ops) == 1 and _is_r32(ops[0]):
+            d = ops[0].code
+            if m == "inc":
+                body.append(f"_res = (regs[{d}] + 1) & M")
+                body.append("cpu.of = _res == 0x80000000")
+            else:
+                body.append(f"_res = (regs[{d}] - 1) & M")
+                body.append("cpu.of = _res == 0x7FFFFFFF")
+            body.append("cpu.zf = _res == 0")  # CF preserved, as on hardware
+            body.append("cpu.sf = _res >= 0x80000000")
+            body.append(f"regs[{d}] = _res")
+            set_eip_if_final()
+            return True
+
+        if m == "neg" and len(ops) == 1 and _is_r32(ops[0]):
+            d = ops[0].code
+            body.append(f"_a = regs[{d}]")
+            body.append("_res = (-_a) & M")
+            body.append("cpu.cf = _a != 0")
+            body.append("cpu.of = bool(_a & _res & 0x80000000)")
+            body.append("cpu.zf = _res == 0")
+            body.append("cpu.sf = _res >= 0x80000000")
+            body.append(f"regs[{d}] = _res")
+            set_eip_if_final()
+            return True
+
+        if m == "not" and len(ops) == 1 and _is_r32(ops[0]):
+            d = ops[0].code
+            body.append(f"regs[{d}] = ~regs[{d}] & M")  # flags untouched
+            set_eip_if_final()
+            return True
+
+        if (
+            m in ("shl", "shr", "sar")
+            and len(ops) == 2
+            and _is_r32(ops[0])
+            and isinstance(ops[1], Imm)
+        ):
+            count = ops[1].value & 0x1F
+            d = ops[0].code
+            if count == 0:
+                set_eip_if_final()
+                return True  # no flag/register change, like the handler
+            body.append(f"_v = regs[{d}]")
+            if m == "shl":
+                body.append(f"_res = (_v << {count}) & M")
+                body.append(f"cpu.cf = bool((_v >> {32 - count}) & 1)")
+            elif m == "shr":
+                body.append(f"_res = _v >> {count}")
+                body.append(f"cpu.cf = bool((_v >> {count - 1}) & 1)")
+            else:  # sar (count < 32)
+                body.append("_sv = _v - 0x100000000 if _v >= 0x80000000 else _v")
+                body.append(f"cpu.cf = bool((_sv >> {count - 1}) & 1)")
+                body.append(f"_res = (_sv >> {count}) & M")
+            body.append("cpu.zf = _res == 0")
+            body.append("cpu.sf = _res >= 0x80000000")
+            body.append(f"regs[{d}] = _res")
+            set_eip_if_final()
+            return True
+
+        if m == "cdq" and not ops:
+            body.append("regs[2] = M if regs[0] & 0x80000000 else 0")
+            set_eip_if_final()
+            return True
+
+        if m == "nop":
+            set_eip_if_final()
+            return True
+
+        return False

@@ -1,9 +1,17 @@
 """The IA-32 emulator.
 
-Executes binary images instruction by instruction, counting cycles with a
-simple per-opcode cost model.  ROP chains need no special support: the
-genuine ``ret`` semantics (pop eip from the stack) execute them exactly
-as real hardware would.
+Executes binary images with one of two engines sharing a single set of
+instruction semantics (:mod:`repro.emu.dispatch`):
+
+* the **step engine** interprets one instruction at a time through the
+  decode cache — the reference implementation, and the one used when a
+  per-step ``trace_hook`` is attached;
+* the **block engine** (:mod:`repro.emu.blocks`, the default) compiles
+  straight-line instruction runs into cached superblocks and executes
+  them without per-instruction dispatch.
+
+ROP chains need no special support: the genuine ``ret`` semantics (pop
+eip from the stack) execute them exactly as real hardware would.
 
 The fetch path reads the *instruction view* of memory
 (:meth:`repro.emu.memory.Memory.fetch`), while loads/stores use the data
@@ -18,15 +26,20 @@ from ..binary.image import BinaryImage
 from ..x86.decoder import decode
 from ..x86.errors import DecodeError
 from ..x86.instruction import Instruction
-from ..x86.operands import Imm, Mem, Rel, to_signed
+from ..x86.operands import Imm, Mem, Rel
 from ..x86.registers import Register
 from .cpu import CPUState, MASK32
+from .dispatch import (
+    CYCLE_COSTS,
+    DISPATCH,
+    RAS_DEPTH,
+    RET_MISPREDICT_PENALTY,
+    cost_of,
+)
 from .errors import (
     BadFetch,
     BadMemoryAccess,
-    DivideError,
     EmulationError,
-    Halted,
     StepLimitExceeded,
 )
 from .memory import Memory
@@ -35,40 +48,43 @@ from .syscalls import ExitProgram, OperatingSystem
 #: Return-address sentinel used by ``call_function``; never mapped.
 CALL_SENTINEL = 0xDEAD0000
 
-#: Conditional-jump mnemonics (hot-path dispatch set).
-_JCC = frozenset(
-    {
-        "jo", "jno", "jb", "jae", "je", "jne", "jbe", "ja",
-        "js", "jns", "jp", "jnp", "jl", "jge", "jle", "jg",
-    }
-)
-
-#: Cycle cost per mnemonic (default 1); memory operands add 1 each.
-CYCLE_COSTS = {
-    "mul": 4,
-    "imul": 4,
-    "div": 24,
-    "idiv": 24,
-    "call": 2,
-    "ret": 2,
-    "retf": 3,
-    "pushad": 8,
-    "popad": 8,
-    "leave": 2,
-    "int": 60,
-}
-
-#: Extra cycles when a return's target does not match the shadow
-#: return-address stack — the branch-predictor miss that makes ROP
-#: chains an order of magnitude slower than straight code on real
-#: hardware.  Calls/returns in ordinary code pair up and stay cheap.
-RET_MISPREDICT_PENALTY = 18
-
-#: Depth of the modelled return-stack buffer (typical hardware: 16).
-RAS_DEPTH = 16
-
 _STACK_TOP_DEFAULT = 0x00C0_0000
 _STACK_SIZE_DEFAULT = 0x4_0000
+
+#: Engine names accepted by :class:`EmulatorConfig` and the CLI.
+ENGINE_BLOCK = "block"
+ENGINE_STEP = "step"
+ENGINES = (ENGINE_BLOCK, ENGINE_STEP)
+DEFAULT_ENGINE = ENGINE_BLOCK
+
+#: Per-generation bound of the decode cache; two generations are kept,
+#: so at most ~2x this many decoded instructions are resident.
+DECODE_CACHE_GENERATION = 1 << 15
+
+
+class EmulatorConfig:
+    """Execution-engine configuration, separate from what to run.
+
+    Attributes:
+        engine: ``"block"`` (superblock compiler, default) or ``"step"``
+            (single-instruction reference interpreter).
+        max_steps: default instruction budget.
+        stack_top: default initial esp (grows down).
+    """
+
+    __slots__ = ("engine", "max_steps", "stack_top")
+
+    def __init__(
+        self,
+        engine: str = DEFAULT_ENGINE,
+        max_steps: int = 5_000_000,
+        stack_top: int = _STACK_TOP_DEFAULT,
+    ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.engine = engine
+        self.max_steps = max_steps
+        self.stack_top = stack_top
 
 
 class RunResult:
@@ -105,27 +121,48 @@ class Emulator:
         os: toy OS instance (fresh one created if omitted).
         stack_top: initial esp (grows down).
         max_steps: instruction budget; exceeded → :class:`StepLimitExceeded`.
+        engine: ``"block"`` or ``"step"``; overrides ``config``.
+        config: an :class:`EmulatorConfig` supplying defaults.
     """
 
     def __init__(
         self,
         image: Optional[BinaryImage] = None,
         os: Optional[OperatingSystem] = None,
-        stack_top: int = _STACK_TOP_DEFAULT,
-        max_steps: int = 5_000_000,
+        stack_top: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        engine: Optional[str] = None,
+        config: Optional[EmulatorConfig] = None,
     ):
+        if config is None:
+            config = EmulatorConfig()
+        if engine is None:
+            engine = config.engine
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if stack_top is None:
+            stack_top = config.stack_top
         self.memory = Memory()
         self.cpu = CPUState()
         self.os = os if os is not None else OperatingSystem()
         self.image = image
-        self.max_steps = max_steps
+        self.engine = engine
+        self.max_steps = max_steps if max_steps is not None else config.max_steps
         self.steps = 0
         self.cycles = 0
         self.ret_mispredicts = 0
         self._ras = []  # shadow return-address stack (branch predictor)
-        #: optional per-step callback(eip, instruction) for profilers
+        #: optional per-step callback(eip, instruction) for profilers;
+        #: attaching one makes ``run`` fall back to the step engine so
+        #: every instruction is observed.
         self.trace_hook: Optional[Callable[[int, Instruction], None]] = None
+        # Two-generation decode cache: hits promote entries from the old
+        # generation into the young one; when the young generation fills
+        # up, the old one is dropped wholesale.  Bounded memory without
+        # the periodic re-decode-everything cliff of a full clear.
         self._decode_cache = {}
+        self._decode_cache_old = {}
+        self._block_engine = None
 
         self.memory.map_zero(stack_top - _STACK_SIZE_DEFAULT, _STACK_SIZE_DEFAULT)
         self.cpu.esp = stack_top - 64
@@ -134,6 +171,22 @@ class Emulator:
             for section in image.sections:
                 self.memory.map(section.vaddr, bytes(section.data))
             self.cpu.eip = image.entry
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def blocks(self):
+        """The lazily-created block engine bound to this emulator."""
+        if self._block_engine is None:
+            from .blocks import BlockEngine
+
+            self._block_engine = BlockEngine(self)
+        return self._block_engine
+
+    def _use_blocks(self) -> bool:
+        return self.engine == ENGINE_BLOCK and self.trace_hook is None
 
     # ------------------------------------------------------------------
     # Operand helpers
@@ -213,6 +266,10 @@ class Emulator:
         # code is still decoded faithfully.
         version = self.memory.page_version(eip)
         cached = self._decode_cache.get(eip)
+        if cached is None and self._decode_cache_old:
+            cached = self._decode_cache_old.get(eip)
+            if cached is not None:  # promote the survivor
+                self._decode_cache_store(eip, cached)
         if cached is not None:
             insn, cached_version, end_version = cached
             if cached_version == version and (
@@ -230,14 +287,24 @@ class Emulator:
             raise BadFetch(
                 f"undecodable bytes {window[:8].hex()} at {eip:#x}", eip=eip
             ) from exc
-        if len(self._decode_cache) > 1 << 16:
-            self._decode_cache.clear()
         end_addr = eip + insn.length - 1
         end_version = (
             self.memory.page_version(end_addr) if (end_addr >> 12) != (eip >> 12) else None
         )
-        self._decode_cache[eip] = (insn, version, end_version)
+        # Unversioned pages (stacks) have no write counter to invalidate
+        # on, so code executing from them must be re-decoded every time.
+        if self.memory.page_is_versioned(eip) and (
+            end_version is None or self.memory.page_is_versioned(end_addr)
+        ):
+            self._decode_cache_store(eip, (insn, version, end_version))
         return insn
+
+    def _decode_cache_store(self, eip: int, entry) -> None:
+        cache = self._decode_cache
+        if len(cache) >= DECODE_CACHE_GENERATION:
+            self._decode_cache_old = cache
+            cache = self._decode_cache = {}
+        cache[eip] = entry
 
     # ------------------------------------------------------------------
     # Execution
@@ -252,18 +319,10 @@ class Emulator:
         eip = self.cpu.eip
         insn = self._fetch_decode(eip)
         self.steps += 1
-        cost = insn.cycle_cost
-        if cost is None:
-            cost = CYCLE_COSTS.get(insn.mnemonic, 1)
-            for op in insn.operands:
-                if isinstance(op, Mem):
-                    cost += 1
-            insn.cycle_cost = cost
-        self.cycles += cost
+        self.cycles += cost_of(insn)
         if self.trace_hook is not None:
             self.trace_hook(eip, insn)
-        next_eip = (eip + insn.length) & MASK32
-        self.cpu.eip = next_eip
+        self.cpu.eip = (eip + insn.length) & MASK32
         self._execute(insn)
         return insn
 
@@ -283,8 +342,11 @@ class Emulator:
         with get_tracer().span("emulate") as span:
             fault = None
             try:
-                while True:
-                    self.step()
+                if self._use_blocks():
+                    self.blocks.run()
+                else:
+                    while True:
+                        self.step()
             except ExitProgram:
                 pass
             except EmulationError as exc:
@@ -298,6 +360,8 @@ class Emulator:
                 metrics.counter(
                     f"emu.faults.{type(fault).__name__}"
                 ).inc()
+            self._record_engine_metrics(metrics)
+            span.set_attribute("engine", self.engine)
             span.set_attribute("steps", self.steps - start_steps)
             span.set_attribute("cycles", self.cycles)
             if fault is not None:
@@ -313,6 +377,25 @@ class Emulator:
             fault=fault,
         )
 
+    def _record_engine_metrics(self, metrics) -> None:
+        be = self._block_engine
+        if be is not None:
+            metrics.counter("emu.blocks.compiled").inc(be.compiled)
+            metrics.counter("emu.blocks.hits").inc(be.hits)
+            metrics.counter("emu.blocks.invalidated").inc(be.invalidated)
+            metrics.counter("emu.blocks.write_aborts").inc(be.write_aborts)
+        mem = self.memory
+        loads = mem.fast_loads + mem.slow_loads
+        stores = mem.fast_stores + mem.slow_stores
+        metrics.counter("emu.mem.fast_loads").inc(mem.fast_loads)
+        metrics.counter("emu.mem.slow_loads").inc(mem.slow_loads)
+        metrics.counter("emu.mem.fast_stores").inc(mem.fast_stores)
+        metrics.counter("emu.mem.slow_stores").inc(mem.slow_stores)
+        if loads:
+            metrics.gauge("emu.mem.fast_load_ratio").set(mem.fast_loads / loads)
+        if stores:
+            metrics.gauge("emu.mem.fast_store_ratio").set(mem.fast_stores / stores)
+
     def call_function(self, vaddr: int, args=(), max_steps: Optional[int] = None):
         """Call a function at ``vaddr`` with cdecl int args; returns eax.
 
@@ -325,151 +408,26 @@ class Emulator:
             self.push(arg & MASK32)
         self.push(CALL_SENTINEL)
         self.cpu.eip = vaddr
-        while self.cpu.eip != CALL_SENTINEL:
-            self.step()
+        if self._use_blocks():
+            self.blocks.run(stop=CALL_SENTINEL)
+        else:
+            while self.cpu.eip != CALL_SENTINEL:
+                self.step()
         # Caller cleans up arguments, as with cdecl.
         self.cpu.esp = (self.cpu.esp + 4 * len(args)) & MASK32
         return self.cpu.eax
 
     # ------------------------------------------------------------------
-    # Instruction semantics
+    # Instruction semantics (shared table; see repro.emu.dispatch)
     # ------------------------------------------------------------------
 
     def _execute(self, insn: Instruction) -> None:
-        m = insn.mnemonic
-        ops = insn.operands
-        cpu = self.cpu
-
-        if m == "mov":
-            value = self._read_operand(ops[1], self._width_of(ops[0]))
-            self._write_operand(ops[0], value)
-        elif m == "push":
-            self.push(self._read_operand(ops[0], 32))
-        elif m == "pop":
-            value = self.pop()
-            self._write_operand(ops[0], value)
-        elif m == "ret":
-            cpu.eip = self.pop()
-            if ops:
-                cpu.esp = (cpu.esp + ops[0].value) & MASK32
-            self._predict_return(cpu.eip)
-        elif m[0] == "j" and m in _JCC:
-            if cpu.condition(m[1:]):
-                cpu.eip = self._branch_target(ops[0])
-        elif m == "call":
-            target = self._branch_target(ops[0])
-            self.push(cpu.eip)
-            if len(self._ras) >= RAS_DEPTH:
-                del self._ras[0]
-            self._ras.append(cpu.eip)
-            cpu.eip = target
-        elif m == "jmp":
-            cpu.eip = self._branch_target(ops[0])
-        elif m in ("add", "adc"):
-            width = self._width_of(ops[0])
-            a = self._read_operand(ops[0], width)
-            b = self._read_operand(ops[1], width)
-            carry = int(cpu.cf) if m == "adc" else 0
-            self._write_operand(ops[0], cpu.set_add_flags(a, b, carry, width))
-        elif m in ("sub", "sbb"):
-            width = self._width_of(ops[0])
-            a = self._read_operand(ops[0], width)
-            b = self._read_operand(ops[1], width)
-            borrow = int(cpu.cf) if m == "sbb" else 0
-            self._write_operand(ops[0], cpu.set_sub_flags(a, b, borrow, width))
-        elif m == "cmp":
-            width = self._width_of(ops[0])
-            a = self._read_operand(ops[0], width)
-            b = self._read_operand(ops[1], width)
-            cpu.set_sub_flags(a, b, 0, width)
-        elif m in ("and", "or", "xor"):
-            width = self._width_of(ops[0])
-            a = self._read_operand(ops[0], width)
-            b = self._read_operand(ops[1], width)
-            result = a & b if m == "and" else (a | b if m == "or" else a ^ b)
-            cpu.set_logic_flags(result, width)
-            self._write_operand(ops[0], result)
-        elif m == "test":
-            width = self._width_of(ops[0])
-            a = self._read_operand(ops[0], width)
-            b = self._read_operand(ops[1], width)
-            cpu.set_logic_flags(a & b, width)
-        elif m in ("inc", "dec"):
-            width = self._width_of(ops[0])
-            a = self._read_operand(ops[0], width)
-            carry = cpu.cf  # inc/dec preserve CF
-            if m == "inc":
-                result = cpu.set_add_flags(a, 1, 0, width)
-            else:
-                result = cpu.set_sub_flags(a, 1, 0, width)
-            cpu.cf = carry
-            self._write_operand(ops[0], result)
-        elif m == "neg":
-            width = self._width_of(ops[0])
-            a = self._read_operand(ops[0], width)
-            result = cpu.set_sub_flags(0, a, 0, width)
-            self._write_operand(ops[0], result)
-        elif m == "not":
-            width = self._width_of(ops[0])
-            a = self._read_operand(ops[0], width)
-            self._write_operand(ops[0], ~a & ((1 << width) - 1))
-        elif m == "lea":
-            self._write_operand(ops[0], self._effective_address(ops[1]))
-        elif m == "xchg":
-            wa, wb = self._width_of(ops[0]), self._width_of(ops[1])
-            a = self._read_operand(ops[0], wa)
-            b = self._read_operand(ops[1], wb)
-            self._write_operand(ops[0], b)
-            self._write_operand(ops[1], a)
-        elif m in ("shl", "shr", "sar"):
-            self._execute_shift(m, ops)
-        elif m == "pushad":
-            original_esp = cpu.esp
-            for code in range(8):
-                self.push(original_esp if code == 4 else cpu.regs[code])
-        elif m == "popad":
-            for code in reversed(range(8)):
-                value = self.pop()
-                if code != 4:  # esp is popped but discarded
-                    cpu.regs[code] = value
-        elif m == "leave":
-            cpu.esp = cpu.ebp
-            cpu.ebp = self.pop()
-        elif m == "retf":
-            cpu.eip = self.pop()
-            self.pop()  # discard code-segment word
-            if ops:
-                cpu.esp = (cpu.esp + ops[0].value) & MASK32
-            self._predict_return(cpu.eip)
-        elif m.startswith("set"):
-            self._write_operand(ops[0], int(cpu.condition(m[3:])))
-        elif m in ("movzx", "movsx"):
-            src_width = self._width_of(ops[1])
-            value = self._read_operand(ops[1], src_width)
-            if m == "movsx":
-                value = to_signed(value, src_width) & MASK32
-            self._write_operand(ops[0], value)
-        elif m in ("mul", "imul"):
-            self._execute_multiply(m, ops)
-        elif m in ("div", "idiv"):
-            self._execute_divide(m, ops)
-        elif m == "cdq":
-            cpu.regs[2] = MASK32 if cpu.regs[0] & 0x8000_0000 else 0
-        elif m == "nop":
-            pass
-        elif m == "int":
-            if ops[0].value == 0x80:
-                cpu.regs[0] = self.os.dispatch(self) & MASK32
-            else:
-                raise EmulationError(
-                    f"unhandled software interrupt {ops[0].value:#x}", eip=cpu.eip
-                )
-        elif m == "int3":
-            raise EmulationError("breakpoint trap (int3)", eip=cpu.eip)
-        elif m == "hlt":
-            raise Halted("hlt executed", eip=cpu.eip)
-        else:
-            raise EmulationError(f"unimplemented mnemonic {m!r}", eip=cpu.eip)
+        handler = DISPATCH.get(insn.mnemonic)
+        if handler is None:
+            raise EmulationError(
+                f"unimplemented mnemonic {insn.mnemonic!r}", eip=self.cpu.eip
+            )
+        handler(self, insn)
 
     def _predict_return(self, target: int) -> None:
         """Charge the return-predictor penalty on RAS mismatch."""
@@ -488,91 +446,18 @@ class Emulator:
             return op.target & MASK32
         return self._read_operand(op, 32)
 
-    def _execute_shift(self, m: str, ops) -> None:
-        cpu = self.cpu
-        width = self._width_of(ops[0])
-        count = self._read_operand(ops[1], 8) & 0x1F
-        value = self._read_operand(ops[0], width)
-        if count == 0:
-            return
-        mask = (1 << width) - 1
-        if m == "shl":
-            result = (value << count) & mask
-            cpu.cf = bool((value >> (width - count)) & 1) if count <= width else False
-        elif m == "shr":
-            result = (value >> count) & mask
-            cpu.cf = bool((value >> (count - 1)) & 1)
-        else:  # sar
-            signed = to_signed(value, width)
-            cpu.cf = bool((signed >> (count - 1)) & 1) if count <= width else signed < 0
-            result = (signed >> count) & mask if count < width else (mask if signed < 0 else 0)
-        cpu.zf = result == 0
-        cpu.sf = bool(result >> (width - 1))
-        self._write_operand(ops[0], result)
-
-    def _execute_multiply(self, m: str, ops) -> None:
-        cpu = self.cpu
-        if m == "imul" and len(ops) == 3:  # imul r32, r/m32, imm
-            a = to_signed(self._read_operand(ops[1], 32), 32)
-            b = ops[2].signed
-            product = a * b
-            result = product & MASK32
-            cpu.cf = cpu.of = product != to_signed(result, 32)
-            self._write_operand(ops[0], result)
-        elif m == "imul" and len(ops) == 2:  # imul r32, r/m32
-            a = to_signed(self.cpu.get(ops[0]), 32)
-            b = to_signed(self._read_operand(ops[1], 32), 32)
-            product = a * b
-            result = product & MASK32
-            cpu.cf = cpu.of = product != to_signed(result, 32)
-            self._write_operand(ops[0], result)
-        else:  # one-operand mul/imul: edx:eax = eax * op
-            width = self._width_of(ops[0])
-            if width != 32:
-                raise EmulationError("8-bit multiply not supported", eip=cpu.eip)
-            a = cpu.regs[0]
-            b = self._read_operand(ops[0], 32)
-            if m == "imul":
-                product = to_signed(a, 32) * to_signed(b, 32)
-            else:
-                product = a * b
-            cpu.regs[0] = product & MASK32
-            cpu.regs[2] = (product >> 32) & MASK32
-            if m == "imul":
-                # CF=OF unless edx:eax is just the sign extension of eax.
-                cpu.cf = cpu.of = product != to_signed(product & MASK32, 32)
-            else:
-                cpu.cf = cpu.of = cpu.regs[2] != 0
-
-    def _execute_divide(self, m: str, ops) -> None:
-        cpu = self.cpu
-        divisor = self._read_operand(ops[0], 32)
-        dividend = (cpu.regs[2] << 32) | cpu.regs[0]
-        if m == "idiv":
-            divisor = to_signed(divisor, 32)
-            dividend = to_signed(dividend, 64)
-        if divisor == 0:
-            raise DivideError("division by zero", eip=cpu.eip)
-        if m == "idiv":
-            quotient = int(dividend / divisor)  # truncation toward zero
-            remainder = dividend - quotient * divisor
-            if not -(1 << 31) <= quotient < (1 << 31):
-                raise DivideError("idiv quotient overflow", eip=cpu.eip)
-        else:
-            quotient, remainder = divmod(dividend, divisor)
-            if quotient > MASK32:
-                raise DivideError("div quotient overflow", eip=cpu.eip)
-        cpu.regs[0] = quotient & MASK32
-        cpu.regs[2] = remainder & MASK32
-
 
 def run_image(
     image: BinaryImage,
     stdin: bytes = b"",
     debugger_attached: bool = False,
     max_steps: int = 5_000_000,
+    engine: Optional[str] = None,
+    config: Optional[EmulatorConfig] = None,
 ) -> RunResult:
     """Convenience: load ``image`` into a fresh emulator and run it."""
     os = OperatingSystem(stdin=stdin, debugger_attached=debugger_attached)
-    emulator = Emulator(image, os=os, max_steps=max_steps)
+    emulator = Emulator(
+        image, os=os, max_steps=max_steps, engine=engine, config=config
+    )
     return emulator.run()

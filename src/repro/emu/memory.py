@@ -13,10 +13,34 @@ only to :meth:`fetch` (instruction fetch).  The Wurster attack in
 us demonstrate that checksumming baselines are blind to it while Parallax
 is not (Parallax chains *execute* the protected bytes, so they see the
 instruction view).
+
+Storage model
+-------------
+
+Two tiers share one backing store:
+
+* **Flat segments** — a mapping whose pages are all fresh is allocated
+  as one contiguous ``bytearray`` spanning the page-aligned range, and
+  aligned ``struct`` fast paths serve loads/stores against it directly
+  (``fast_loads``/``fast_stores`` counters).  The segment's pages are
+  installed into the page table as ``memoryview`` windows over the same
+  buffer, so the paged path and the flat path are coherent by
+  construction.
+* **Paged fallback** — overlapping mappings, span edges and anything
+  created by ``_page_for(create=True)`` live as standalone 4 KiB
+  ``bytearray`` pages and take the original per-page path
+  (``slow_loads``/``slow_stores``).
+
+Stacks (``map_zero``) are flat segments marked *unversioned*: stores to
+them skip the per-page write-counter bump that keys the decode and
+superblock caches.  Code is never cached from unversioned pages (see
+:meth:`page_is_versioned`), so cache coherence is unaffected — this
+just removes two dict operations from every ``push``.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Optional
 
 from .errors import BadMemoryAccess
@@ -24,27 +48,77 @@ from .errors import BadMemoryAccess
 PAGE_SIZE = 4096
 PAGE_MASK = PAGE_SIZE - 1
 
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+class FlatSegment:
+    """One contiguous page-aligned mapping backed by a single buffer."""
+
+    __slots__ = ("base", "data", "versioned", "limit")
+
+    def __init__(self, base: int, data: bytearray, versioned: bool):
+        self.base = base
+        self.data = data
+        self.versioned = versioned
+        #: largest offset at which a dword access stays in-bounds; the
+        #: block engine's inline fast paths bounds-check against this.
+        self.limit = len(data) - 4
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlatSegment {self.base:#x}+{len(self.data):#x}"
+            f"{'' if self.versioned else ' unversioned'}>"
+        )
+
 
 class Memory:
-    """Sparse paged memory."""
+    """Sparse paged memory with flat-segment fast paths."""
 
     def __init__(self):
-        self._pages: Dict[int, bytearray] = {}
+        self._pages: Dict[int, object] = {}  # bytearray or memoryview
         #: instruction-view overlay: vaddr -> byte (only consulted by fetch)
         self._code_overlay: Dict[int, int] = {}
         #: per-page write counters; lets the emulator's decode cache
         #: detect self-modifying (or tampered) code cheaply.
         self._versions: Dict[int, int] = {}
+        #: page number -> owning flat segment (fast-path lookup).
+        self._seg_by_page: Dict[int, FlatSegment] = {}
+        #: bumped alongside any page-version bump; lets the block engine
+        #: prove "nothing versioned has changed since this block was
+        #: stamped" with a single integer compare.
+        self.write_epoch = 0
+        # telemetry: scalar accesses served by the flat path vs. the
+        # paged path (recorded at run end by the emulator).
+        self.fast_loads = 0
+        self.slow_loads = 0
+        self.fast_stores = 0
+        self.slow_stores = 0
 
     def page_version(self, vaddr: int) -> int:
         """Monotonic counter bumped whenever the page of ``vaddr`` changes."""
         return self._versions.get(vaddr >> 12, 0)
 
+    def page_is_versioned(self, vaddr: int) -> bool:
+        """False for pages whose stores skip version bumps (stacks).
+
+        Execution engines must not cache decoded code that lives on an
+        unversioned page, because nothing would invalidate it.
+        """
+        seg = self._seg_by_page.get(vaddr >> 12)
+        return seg.versioned if seg is not None else True
+
     def _bump(self, vaddr: int, length: int = 1) -> None:
+        self.write_epoch += 1
         first = vaddr >> 12
         last = (vaddr + max(length - 1, 0)) >> 12
+        versions = self._versions
+        segs = self._seg_by_page
         for number in range(first, last + 1):
-            self._versions[number] = self._versions.get(number, 0) + 1
+            seg = segs.get(number)
+            if seg is not None and not seg.versioned:
+                continue
+            versions[number] = versions.get(number, 0) + 1
 
     # ------------------------------------------------------------------
     # Mapping
@@ -52,24 +126,66 @@ class Memory:
 
     def map(self, vaddr: int, data: bytes) -> None:
         """Map ``data`` at ``vaddr``, allocating pages as needed."""
-        for i, byte in enumerate(data):
-            addr = vaddr + i
-            page = self._page_for(addr, create=True)
-            page[addr & PAGE_MASK] = byte
-        if data:
-            self._bump(vaddr, len(data))
+        if not data:
+            return
+        first = vaddr >> 12
+        last = (vaddr + len(data) - 1) >> 12
+        pages = self._pages
+        if all(number not in pages for number in range(first, last + 1)):
+            base = first << 12
+            segment = FlatSegment(
+                base, bytearray((last - first + 1) << 12), versioned=True
+            )
+            offset = vaddr - base
+            segment.data[offset : offset + len(data)] = data
+            self._install_segment(segment)
+        else:
+            # Overlaps an existing mapping: bulk-copy page-sized slices
+            # into whatever backs each page.
+            pos = 0
+            length = len(data)
+            while pos < length:
+                addr = vaddr + pos
+                page = self._page_for(addr, create=True)
+                off = addr & PAGE_MASK
+                chunk = min(length - pos, PAGE_SIZE - off)
+                page[off : off + chunk] = data[pos : pos + chunk]
+                pos += chunk
+        self._bump(vaddr, len(data))
 
-    def map_zero(self, vaddr: int, size: int) -> None:
-        """Map ``size`` zero bytes at ``vaddr``."""
-        first_page = vaddr >> 12
-        last_page = (vaddr + size - 1) >> 12
-        for number in range(first_page, last_page + 1):
-            self._pages.setdefault(number, bytearray(PAGE_SIZE))
+    def map_zero(self, vaddr: int, size: int, versioned: bool = False) -> None:
+        """Map ``size`` zero bytes at ``vaddr`` (stack/heap-style region).
+
+        The region defaults to *unversioned*: stores skip the write
+        counter used for code-cache invalidation, which is safe because
+        engines refuse to cache code from unversioned pages.
+        """
+        if size <= 0:
+            return
+        first = vaddr >> 12
+        last = (vaddr + size - 1) >> 12
+        pages = self._pages
+        if all(number not in pages for number in range(first, last + 1)):
+            segment = FlatSegment(
+                first << 12, bytearray((last - first + 1) << 12), versioned
+            )
+            self._install_segment(segment)
+        else:
+            for number in range(first, last + 1):
+                pages.setdefault(number, bytearray(PAGE_SIZE))
+
+    def _install_segment(self, segment: FlatSegment) -> None:
+        view = memoryview(segment.data)
+        base_page = segment.base >> 12
+        for i in range(len(segment.data) >> 12):
+            number = base_page + i
+            self._pages[number] = view[i << 12 : (i + 1) << 12]
+            self._seg_by_page[number] = segment
 
     def is_mapped(self, vaddr: int) -> bool:
         return (vaddr >> 12) in self._pages
 
-    def _page_for(self, vaddr: int, create: bool = False) -> bytearray:
+    def _page_for(self, vaddr: int, create: bool = False):
         number = vaddr >> 12
         page = self._pages.get(number)
         if page is None:
@@ -85,6 +201,13 @@ class Memory:
 
     def read(self, vaddr: int, length: int) -> bytes:
         """Data-view read. Never sees the instruction overlay."""
+        segment = self._seg_by_page.get(vaddr >> 12)
+        if segment is not None:
+            offset = vaddr - segment.base
+            if offset + length <= len(segment.data):
+                self.fast_loads += 1
+                return bytes(segment.data[offset : offset + length])
+        self.slow_loads += 1
         out = bytearray(length)
         pos = 0
         while pos < length:
@@ -100,44 +223,102 @@ class Memory:
         """Data-view write (also updates what fetch sees, unless an
         instruction-overlay byte shadows it — as on real hardware until
         the i-cache line is flushed)."""
+        length = len(payload)
+        if not length:
+            return
+        segment = self._seg_by_page.get(vaddr >> 12)
+        if segment is not None:
+            offset = vaddr - segment.base
+            if offset + length <= len(segment.data):
+                self.fast_stores += 1
+                segment.data[offset : offset + length] = payload
+                if segment.versioned:
+                    self._bump(vaddr, length)
+                return
+        self.slow_stores += 1
         pos = 0
-        while pos < len(payload):
+        while pos < length:
             addr = vaddr + pos
             page = self._page_for(addr, create=False)
             off = addr & PAGE_MASK
-            chunk = min(len(payload) - pos, PAGE_SIZE - off)
+            chunk = min(length - pos, PAGE_SIZE - off)
             page[off : off + chunk] = payload[pos : pos + chunk]
             pos += chunk
-        if payload:
-            self._bump(vaddr, len(payload))
+        self._bump(vaddr, length)
 
     def read_u8(self, vaddr: int) -> int:
+        segment = self._seg_by_page.get(vaddr >> 12)
+        if segment is not None:
+            self.fast_loads += 1
+            return segment.data[vaddr - segment.base]
+        self.slow_loads += 1
         return self._page_for(vaddr)[vaddr & PAGE_MASK]
 
     def write_u8(self, vaddr: int, value: int) -> None:
+        segment = self._seg_by_page.get(vaddr >> 12)
+        if segment is not None:
+            self.fast_stores += 1
+            segment.data[vaddr - segment.base] = value & 0xFF
+            if segment.versioned:
+                self.write_epoch += 1
+                number = vaddr >> 12
+                self._versions[number] = self._versions.get(number, 0) + 1
+            return
+        self.slow_stores += 1
         self._page_for(vaddr)[vaddr & PAGE_MASK] = value & 0xFF
         self._bump(vaddr)
 
     def read_u16(self, vaddr: int) -> int:
+        segment = self._seg_by_page.get(vaddr >> 12)
+        if segment is not None:
+            offset = vaddr - segment.base
+            if offset + 2 <= len(segment.data):
+                self.fast_loads += 1
+                return _U16.unpack_from(segment.data, offset)[0]
         return int.from_bytes(self.read(vaddr, 2), "little")
 
     def read_u32(self, vaddr: int) -> int:
+        segment = self._seg_by_page.get(vaddr >> 12)
+        if segment is not None:
+            offset = vaddr - segment.base
+            if offset + 4 <= len(segment.data):
+                self.fast_loads += 1
+                return _U32.unpack_from(segment.data, offset)[0]
         off = vaddr & PAGE_MASK
-        if off <= PAGE_SIZE - 4:  # fast path: within one page
+        if off <= PAGE_SIZE - 4:  # paged fallback: within one page
+            self.slow_loads += 1
             page = self._page_for(vaddr)
             return int.from_bytes(page[off : off + 4], "little")
         return int.from_bytes(self.read(vaddr, 4), "little")
 
     def write_u16(self, vaddr: int, value: int) -> None:
+        segment = self._seg_by_page.get(vaddr >> 12)
+        if segment is not None:
+            offset = vaddr - segment.base
+            if offset + 2 <= len(segment.data):
+                self.fast_stores += 1
+                _U16.pack_into(segment.data, offset, value & 0xFFFF)
+                if segment.versioned:
+                    self._bump(vaddr, 2)
+                return
         self.write(vaddr, (value & 0xFFFF).to_bytes(2, "little"))
 
     def write_u32(self, vaddr: int, value: int) -> None:
+        segment = self._seg_by_page.get(vaddr >> 12)
+        if segment is not None:
+            offset = vaddr - segment.base
+            if offset + 4 <= len(segment.data):
+                self.fast_stores += 1
+                _U32.pack_into(segment.data, offset, value & 0xFFFFFFFF)
+                if segment.versioned:
+                    self._bump(vaddr, 4)
+                return
         off = vaddr & PAGE_MASK
-        if off <= PAGE_SIZE - 4:  # fast path: within one page
+        if off <= PAGE_SIZE - 4:  # paged fallback: within one page
+            self.slow_stores += 1
             page = self._page_for(vaddr)
             page[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
-            number = vaddr >> 12
-            self._versions[number] = self._versions.get(number, 0) + 1
+            self._bump(vaddr)
             return
         self.write(vaddr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
 
@@ -157,6 +338,16 @@ class Memory:
 
     def fetch_window(self, vaddr: int, length: int = 16) -> bytes:
         """Fetch up to ``length`` bytes for decoding, clamped to mapped pages."""
+        if not self._code_overlay:
+            segment = self._seg_by_page.get(vaddr >> 12)
+            if segment is not None:
+                offset = vaddr - segment.base
+                end = offset + length
+                if end <= len(segment.data):
+                    return bytes(segment.data[offset:end])
+                if not self.is_mapped(segment.base + len(segment.data)):
+                    return bytes(segment.data[offset:])
+                # window continues into an adjacent mapping: slow path
         out = bytearray()
         for i in range(length):
             addr = vaddr + i
@@ -179,7 +370,9 @@ class Memory:
 
         Data reads of the same addresses keep returning the pristine
         bytes, so checksumming code computes correct checksums over
-        tampered code.
+        tampered code.  The write-counter bump invalidates any decoded
+        or block-compiled code spanning these addresses, so both engines
+        re-fetch through the overlay.
         """
         for i, byte in enumerate(payload):
             if not self.is_mapped(vaddr + i):
