@@ -9,7 +9,11 @@ on-disk content-addressed cache.
 """
 
 import atexit
+import json
 import os
+import platform
+import subprocess
+import time
 from functools import lru_cache
 
 from repro import telemetry
@@ -24,6 +28,18 @@ MAX_STEPS = 300_000_000
 #: block engine so published numbers reflect the fast path; set
 #: REPRO_EMU_ENGINE=step to benchmark the reference interpreter.
 ENGINE = os.environ.get("REPRO_EMU_ENGINE", "block")
+
+# Hot-spot sampling would show up in throughput numbers; benchmarks
+# force it off (it otherwise auto-enables with the metrics registry).
+os.environ.setdefault("REPRO_HOTSPOTS", "0")
+
+#: Where append-only benchmark history lives (one JSONL file per
+#: benchmark), consumed by benchmarks/check_regression.py.  Path
+#: overridable via REPRO_BENCH_HISTORY; empty string disables.
+HISTORY_DIR = os.environ.get(
+    "REPRO_BENCH_HISTORY",
+    os.path.join(os.path.dirname(__file__), "history"),
+)
 
 #: Every benchmark process leaves a metrics artifact next to its
 #: results so pipeline counters (gadget scans, chain words, emulated
@@ -50,6 +66,59 @@ def write_metrics(path: str = None) -> str:
 
 
 _enable_benchmark_metrics()
+
+
+def git_sha() -> str:
+    """The repo's HEAD commit, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def env_stamp() -> dict:
+    """Environment fingerprint stored with every history entry, so a
+    'regression' traceable to a machine/interpreter change is visible
+    as such."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "engine": ENGINE,
+    }
+
+
+def record_history(benchmark: str, metrics: dict) -> str:
+    """Append one run's scalar results to the benchmark's history file.
+
+    ``metrics`` maps metric name -> number; higher must mean better
+    (throughputs, speedups — the regression gate assumes this).
+    Returns the history path ("" when history is disabled).
+    """
+    if not HISTORY_DIR:
+        return ""
+    os.makedirs(HISTORY_DIR, exist_ok=True)
+    path = os.path.join(HISTORY_DIR, f"{benchmark}.jsonl")
+    entry = {
+        "benchmark": benchmark,
+        "timestamp": time.time(),
+        "git_sha": git_sha(),
+        "env": env_stamp(),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True))
+        fh.write("\n")
+    return path
 
 
 @lru_cache(maxsize=None)

@@ -114,6 +114,14 @@ def run_suite(programs, output=DEFAULT_OUTPUT):
     if output:
         with open(output, "w") as fh:
             json.dump(payload, fh, indent=2)
+    history = {}
+    for name, row in rows.items():
+        for kind in ("chain", "program"):
+            history[f"{name}.{kind}.block_ips"] = row[kind]["block_ips"]
+            history[f"{name}.{kind}.step_ips"] = row[kind]["step_ips"]
+    history["chain_speedup_geomean"] = payload["chain_speedup_geomean"]
+    history["program_speedup_geomean"] = payload["program_speedup_geomean"]
+    _shared.record_history("emulator", history)
     return payload
 
 

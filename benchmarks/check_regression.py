@@ -1,0 +1,174 @@
+"""Benchmark regression gate: latest run vs. rolling history baseline.
+
+Reads ``benchmarks/history/<bench>.jsonl`` (appended by
+``_shared.record_history`` on every benchmark run), treats the newest
+entry as the candidate, builds a per-metric baseline from the median of
+the preceding runs, and **fails (exit 1) when the geometric-mean ratio
+across metrics regresses by more than the threshold** (default 15%).
+
+All history metrics are higher-is-better (throughputs, speedups), so a
+ratio below ``1 - threshold`` is a slowdown.  The median baseline over
+a window of runs keeps one lucky (or unlucky) historical run from
+dominating the comparison; entries from a different environment stamp
+(python version, machine, engine) than the candidate are skipped when
+enough same-environment history exists, so an interpreter upgrade does
+not masquerade as a code regression.
+
+Exit codes: 0 ok / insufficient history, 1 regression (or mismatched
+data), 2 usage errors.  Stdlib-only: safe to run anywhere, imports
+nothing from the repo.
+
+Usage::
+
+    python benchmarks/check_regression.py                # gate 'emulator'
+    python benchmarks/check_regression.py --bench emulator \
+        --threshold 0.15 --window 5 --min-runs 2
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+DEFAULT_HISTORY = os.environ.get(
+    "REPRO_BENCH_HISTORY",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "history"),
+)
+
+
+def load_history(path):
+    """Parse one history JSONL file; skips corrupt lines (a killed
+    benchmark run must not wedge the gate forever)."""
+    entries = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("metrics"), dict):
+                entries.append(entry)
+    return entries
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def baseline_metrics(entries, window):
+    """Per-metric median over the last ``window`` entries."""
+    recent = entries[-window:]
+    names = set()
+    for entry in recent:
+        names.update(entry["metrics"])
+    result = {}
+    for name in names:
+        values = [
+            e["metrics"][name]
+            for e in recent
+            if name in e["metrics"] and e["metrics"][name] > 0
+        ]
+        if values:
+            result[name] = median(values)
+    return result
+
+
+def compare(candidate, baseline):
+    """(geomean_ratio, per-metric ratios) for metrics present in both."""
+    ratios = {}
+    for name, base in baseline.items():
+        value = candidate.get(name)
+        if value is None or value <= 0 or base <= 0:
+            continue
+        ratios[name] = value / base
+    if not ratios:
+        return None, ratios
+    geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+    return geomean, ratios
+
+
+def check(entries, threshold, window, min_runs, out=sys.stdout):
+    if len(entries) < min_runs:
+        print(
+            f"insufficient history ({len(entries)} run(s), need {min_runs}); "
+            "nothing to gate",
+            file=out,
+        )
+        return 0
+    candidate = entries[-1]
+    prior = entries[:-1]
+    env = candidate.get("env")
+    same_env = [e for e in prior if e.get("env") == env]
+    if same_env:
+        prior = same_env
+    else:
+        print(
+            "note: no prior runs share the candidate's environment stamp; "
+            "comparing across environments",
+            file=out,
+        )
+    baseline = baseline_metrics(prior, window)
+    geomean, ratios = compare(candidate.get("metrics", {}), baseline)
+    if geomean is None:
+        print("ERROR: no comparable metrics between candidate and baseline", file=out)
+        return 1
+
+    floor = 1.0 - threshold
+    worst = sorted(ratios.items(), key=lambda kv: kv[1])
+    print(
+        f"candidate {candidate.get('git_sha', 'unknown')[:12]} vs "
+        f"median of {min(len(prior), window)} prior run(s); "
+        f"{len(ratios)} metric(s)",
+        file=out,
+    )
+    for name, ratio in worst:
+        marker = "  <-- regression" if ratio < floor else ""
+        print(f"  {name:<40} {ratio:>7.3f}x{marker}", file=out)
+    print(f"geomean ratio {geomean:.3f}x (gate: >= {floor:.3f}x)", file=out)
+    if geomean < floor:
+        print(
+            f"REGRESSION: geomean ratio {geomean:.3f}x is below "
+            f"{floor:.3f}x (>{threshold:.0%} slowdown)",
+            file=out,
+        )
+        return 1
+    print("ok", file=out)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="emulator",
+                        help="benchmark name (history/<bench>.jsonl)")
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        help="history directory")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max tolerated geomean slowdown (default 0.15)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="prior runs in the rolling baseline (default 5)")
+    parser.add_argument("--min-runs", type=int, default=2,
+                        help="total runs required before gating (default 2)")
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be in (0, 1)")
+    if args.window < 1 or args.min_runs < 2:
+        parser.error("--window must be >= 1 and --min-runs >= 2")
+
+    path = os.path.join(args.history, f"{args.bench}.jsonl")
+    if not os.path.exists(path):
+        print(f"no history at {path}; nothing to gate")
+        return 0
+    entries = load_history(path)
+    return check(entries, args.threshold, args.window, args.min_runs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

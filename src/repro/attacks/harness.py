@@ -21,7 +21,7 @@ from typing import Iterable, Optional
 from ..binary.image import BinaryImage
 from ..binary.patch import Patch
 from ..emu import RunResult, run_image
-from ..telemetry import get_metrics, get_tracer
+from ..telemetry import get_metrics, get_recorder, get_tracer
 
 
 class AttackOutcome:
@@ -83,4 +83,14 @@ def score_run(attack_name: str, run: RunResult, goal: RunResult) -> AttackOutcom
     metrics.counter(
         "attacks.detected" if outcome.detected else "attacks.undetected"
     ).inc()
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.record(
+            "attack",
+            name=attack_name,
+            detected=outcome.detected,
+            reason=outcome.reason,
+            exit_status=run.exit_status,
+            steps=run.steps,
+        )
     return outcome

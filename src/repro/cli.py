@@ -10,11 +10,16 @@ Commands:
 * ``fig6``                      — the full Fig. 6 table;
 * ``attack PROGRAM``            — static + Wurster tamper demo;
 * ``protect-all``               — protect the whole corpus, optionally
-  in parallel (``--jobs``) and cached on disk (``--cache-dir``).
+  in parallel (``--jobs``) and cached on disk (``--cache-dir``);
+* ``stats ARTIFACT...``         — human dashboard over any exported
+  telemetry artifact (metrics JSON, span/journal JSONL, Chrome trace).
 
-Observability: ``--metrics FILE`` and ``--trace FILE`` on the heavier
-commands enable the process-wide telemetry layer and export a metrics
-JSON / span JSONL on exit (``-`` writes metrics to stdout).
+Observability: the heavier commands take ``--metrics FILE`` (metrics
+JSON), ``--trace FILE`` (span JSONL), ``--chrome-trace FILE``
+(Perfetto-loadable trace-event JSON), ``--prom FILE`` (Prometheus text
+format) and ``--journal FILE`` (flight-recorder event JSONL); ``-``
+writes any of them to stdout.  Exports run even when the command
+faults, so a crashing run still leaves its artifacts behind.
 """
 
 from __future__ import annotations
@@ -49,29 +54,81 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
         "--trace", metavar="FILE", default=None,
         help="export structured spans as JSONL on exit ('-' for stdout)",
     )
+    parser.add_argument(
+        "--chrome-trace", metavar="FILE", default=None,
+        help="export spans as Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--prom", metavar="FILE", default=None,
+        help="export metrics in Prometheus text format",
+    )
+    parser.add_argument(
+        "--journal", metavar="FILE", default=None,
+        help="enable the flight recorder and export its event journal "
+        "as JSONL on exit (written even if the command faults)",
+    )
+
+
+def _export_telemetry(args, metrics, tracer) -> None:
+    trace_path = getattr(args, "trace", None)
+    if trace_path == "-":
+        for event in tracer.to_events():
+            print(json.dumps(event))
+    elif trace_path is not None:
+        tracer.write_jsonl(trace_path)
+
+    chrome_path = getattr(args, "chrome_trace", None)
+    if chrome_path == "-":
+        print(json.dumps(telemetry.chrome_trace(tracer.to_events())))
+    elif chrome_path is not None:
+        telemetry.write_chrome_trace(tracer, chrome_path)
+
+    journal_path = getattr(args, "journal", None)
+    if journal_path == "-":
+        telemetry.get_recorder().dump(sys.stdout)
+    elif journal_path is not None:
+        telemetry.get_recorder().write_jsonl(journal_path)
+
+    prom_path = getattr(args, "prom", None)
+    if prom_path == "-":
+        sys.stdout.write(telemetry.prometheus_text(metrics))
+    elif prom_path is not None:
+        telemetry.write_prometheus(metrics, prom_path)
+
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path == "-":
+        print(metrics.to_json())
+    elif metrics_path is not None:
+        metrics.write_json(metrics_path)
 
 
 @contextlib.contextmanager
 def _telemetry_from_args(args):
-    """Enable telemetry per ``--metrics``/``--trace`` and export on exit."""
-    metrics_path = getattr(args, "metrics", None)
-    trace_path = getattr(args, "trace", None)
-    if metrics_path is None and trace_path is None:
+    """Enable telemetry per the export flags and export on exit.
+
+    Exports happen in a ``finally`` so a faulting command still leaves
+    its artifacts behind — the flight recorder's crash-dump semantics.
+    """
+    want_metrics = (
+        getattr(args, "metrics", None) is not None
+        or getattr(args, "prom", None) is not None
+    )
+    want_tracing = (
+        getattr(args, "trace", None) is not None
+        or getattr(args, "chrome_trace", None) is not None
+    )
+    want_recorder = getattr(args, "journal", None) is not None
+    if not (want_metrics or want_tracing or want_recorder):
         yield
         return
     with telemetry.telemetry_session(
-        metrics=metrics_path is not None, tracing=trace_path is not None
+        metrics=want_metrics, tracing=want_tracing, recorder=want_recorder
     ) as (metrics, tracer):
-        yield
-        if trace_path == "-":
-            for event in tracer.to_events():
-                print(json.dumps(event))
-        elif trace_path is not None:
-            tracer.write_jsonl(trace_path)
-        if metrics_path == "-":
-            print(metrics.to_json())
-        elif metrics_path is not None:
-            metrics.write_json(metrics_path)
+        try:
+            yield
+        finally:
+            _export_telemetry(args, metrics, tracer)
 
 
 def _cmd_list(_args) -> int:
@@ -119,18 +176,37 @@ def _cmd_protect(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    from .emu import profile_run
+    from .emu import HotspotProfiler, profile_run
 
     program = build_program(args.program)
+    hotspots = HotspotProfiler()
     result, profiler = profile_run(
-        program.image, debugger_attached=args.debugger
+        program.image, debugger_attached=args.debugger, hotspots=hotspots
     )
     print(profiler.report())
+    print()
+    print(hotspots.report())
     print(f"\ntotal: {result.steps:,} instructions, {result.cycles:,} cycles")
     if result.crashed:
         print(f"FAULT  : {result.fault}")
         return 1
     return 0
+
+
+def _cmd_stats(args) -> int:
+    status = 0
+    for index, path in enumerate(args.artifacts):
+        if index:
+            print()
+        try:
+            kind, data = telemetry.load_artifact(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"{path}: ERROR: {exc}")
+            status = 1
+            continue
+        print(f"{path} [{kind}]")
+        print(telemetry.render_stats(kind, data))
+    return status
 
 
 def _cmd_analyze(args) -> int:
@@ -277,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-program results as JSON")
     _add_telemetry_args(p_all)
     p_all.set_defaults(func=_cmd_protect_all)
+
+    p_stats = sub.add_parser(
+        "stats", help="dashboard over exported telemetry artifacts"
+    )
+    p_stats.add_argument(
+        "artifacts", nargs="+", metavar="ARTIFACT",
+        help="metrics JSON, span/journal JSONL, or Chrome trace files",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_attack = sub.add_parser("attack", help="tamper demo on a protected program")
     p_attack.add_argument("program", choices=PROGRAM_NAMES)

@@ -42,7 +42,7 @@ from .config import (
     STRATEGY_RC4,
     STRATEGY_XOR,
 )
-from ..telemetry import get_metrics, get_tracer
+from ..telemetry import get_metrics, get_recorder, get_tracer
 from .report import ChainRecord, ProtectionReport
 from .selection import select_verification_function
 from .stubs import build_loader_stub
@@ -147,12 +147,30 @@ class Parallax:
                     cached=True,
                 ) as span:
                     span.set_attribute("chains", len(report.chains))
+                recorder = get_recorder()
+                if recorder.enabled:
+                    recorder.record(
+                        "protect",
+                        program=program.name,
+                        strategy=self.config.strategy,
+                        chains=len(report.chains),
+                        cached=True,
+                    )
                 return ProtectedProgram(program, image, report)
         with get_tracer().span(
             "protect", program=program.name, strategy=self.config.strategy
         ) as span:
             protected = self._protect(program)
             span.set_attribute("chains", len(protected.report.chains))
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.record(
+                "protect",
+                program=program.name,
+                strategy=self.config.strategy,
+                chains=len(protected.report.chains),
+                cached=False,
+            )
         if cache is not None:
             cache.put(key, (protected.image, protected.report))
         return protected

@@ -24,6 +24,7 @@ from .errors import (
     StepLimitExceeded,
     UnsupportedSyscall,
 )
+from .hotspots import HotspotProfiler
 from .memory import PAGE_SIZE, Memory
 from .profiler import FunctionProfile, Profiler, profile_run
 from .syscalls import (
@@ -44,7 +45,7 @@ __all__ = [
     "ENGINES", "ENGINE_BLOCK", "ENGINE_STEP", "DEFAULT_ENGINE",
     "BadFetch", "BadMemoryAccess", "DivideError", "EmulationError",
     "Halted", "StepLimitExceeded", "UnsupportedSyscall",
-    "FunctionProfile", "Profiler", "profile_run",
+    "FunctionProfile", "Profiler", "profile_run", "HotspotProfiler",
     "ExitProgram", "OperatingSystem",
     "SYS_EXIT", "SYS_GETPID", "SYS_PTRACE", "SYS_READ", "SYS_TIME", "SYS_WRITE",
 ]

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..telemetry.recorder import get_recorder
 from ..x86.instruction import CONDITIONAL_JUMPS, CONTROL_FLOW
 from ..x86.operands import Imm, Mem, Rel
 from ..x86.registers import Register
@@ -155,13 +156,17 @@ class CompiledBlock:
 
     __slots__ = (
         "start", "end", "n", "fn", "p0", "v0", "p1", "v1", "cacheable", "epoch",
+        "mnems",
     )
 
-    def __init__(self, start, end, n, fn, pages, cacheable, epoch):
+    def __init__(self, start, end, n, fn, pages, cacheable, epoch, mnems=()):
         self.start = start
         self.end = end
         self.n = n
         self.fn = fn
+        #: mnemonic tuple, kept for hot-spot attribution (executions of
+        #: this block expand to one sample per mnemonic at report time).
+        self.mnems = mnems
         (self.p0, self.v0) = pages[0]
         (self.p1, self.v1) = pages[1] if len(pages) > 1 else (-1, 0)
         self.cacheable = cacheable
@@ -180,9 +185,14 @@ class BlockEngine:
         self.emulator = emulator
         self._cache = {}
         self._old = {}
-        # telemetry (recorded at run end by the emulator)
+        # telemetry (recorded at run end by the emulator).  ``hits`` is
+        # the total; ``epoch_hits`` is the tier-1 subset validated by the
+        # global write-epoch compare alone, ``page_revalidations`` the
+        # tier-2 subset that needed the per-page version probes.
         self.compiled = 0
         self.hits = 0
+        self.epoch_hits = 0
+        self.page_revalidations = 0
         self.invalidated = 0
         self.write_aborts = 0
 
@@ -203,7 +213,11 @@ class BlockEngine:
         max_steps = emu.max_steps
         cache = self._cache
         old = self._old
+        rec = get_recorder()
+        hot = emu.hotspots
         hits = 0
+        epoch_hits = 0
+        page_revals = 0
         try:
             while True:
                 eip = cpu.eip
@@ -221,12 +235,21 @@ class BlockEngine:
                             b.p1 >= 0 and b.v1 != vget(b.p1, 0)
                         ):
                             self.invalidated += 1
+                            if rec.enabled:
+                                rec.record(
+                                    "block_invalidate",
+                                    tier="page",
+                                    start=b.start,
+                                    end=b.end,
+                                )
                             b = None
                         else:
                             b.epoch = epoch
                             hits += 1
+                            page_revals += 1
                     else:
                         hits += 1
+                        epoch_hits += 1
                 if b is None:
                     b = self._compile(eip)
                     self.compiled += 1
@@ -241,10 +264,21 @@ class BlockEngine:
                     # engine.
                     emu.step()
                     continue
+                if hot is not None:
+                    hot.record_block(b)
                 if b.fn(emu, cpu, mem):
                     self.write_aborts += 1
+                    if rec.enabled:
+                        rec.record(
+                            "block_invalidate",
+                            tier="store",
+                            start=b.start,
+                            end=b.end,
+                        )
         finally:
             self.hits += hits
+            self.epoch_hits += epoch_hits
+            self.page_revalidations += page_revals
 
     def run_steps(self, n: int) -> None:
         """Execute exactly ``n`` instructions (attack drivers, tests).
@@ -256,6 +290,8 @@ class BlockEngine:
         emu = self.emulator
         cpu = emu.cpu
         mem = emu.memory
+        rec = get_recorder()
+        hot = emu.hotspots
         target = emu.steps + n
         while emu.steps < target:
             b = self._lookup(cpu.eip)
@@ -263,8 +299,14 @@ class BlockEngine:
                 emu.step()
                 continue
             self.hits += 1
+            if hot is not None:
+                hot.record_block(b)
             if b.fn(emu, cpu, mem):
                 self.write_aborts += 1
+                if rec.enabled:
+                    rec.record(
+                        "block_invalidate", tier="store", start=b.start, end=b.end
+                    )
 
     def _lookup(self, eip: int):
         """Valid cached block for ``eip``, compiling (and caching) on miss."""
@@ -282,9 +324,20 @@ class BlockEngine:
                     b.p1 >= 0 and b.v1 != vget(b.p1, 0)
                 ):
                     self.invalidated += 1
+                    rec = get_recorder()
+                    if rec.enabled:
+                        rec.record(
+                            "block_invalidate",
+                            tier="page",
+                            start=b.start,
+                            end=b.end,
+                        )
                     b = None
                 else:
                     b.epoch = mem.write_epoch
+                    self.page_revalidations += 1
+            else:
+                self.epoch_hits += 1
         if b is None:
             b = self._compile(eip)
             self.compiled += 1
@@ -334,8 +387,18 @@ class BlockEngine:
         cacheable = all(mem.page_is_versioned(p << 12) for p, _ in pages)
 
         fn = self._generate(start, end, insns)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                "block_compile",
+                start=start,
+                end=end,
+                n=len(insns),
+                cacheable=cacheable,
+            )
         return CompiledBlock(
-            start, end, len(insns), fn, pages, cacheable, mem.write_epoch
+            start, end, len(insns), fn, pages, cacheable, mem.write_epoch,
+            mnems=tuple(insn.mnemonic for insn in insns),
         )
 
     def _generate(self, start: int, end: int, insns):

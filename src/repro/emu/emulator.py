@@ -20,6 +20,7 @@ view — this is what makes the Wurster attack expressible.
 
 from __future__ import annotations
 
+import os as _os
 from typing import Callable, Optional
 
 from ..binary.image import BinaryImage
@@ -163,6 +164,12 @@ class Emulator:
         self._decode_cache = {}
         self._decode_cache_old = {}
         self._block_engine = None
+        #: optional HotspotProfiler; installed lazily by run() (see
+        #: REPRO_HOTSPOTS) or explicitly by callers.  ``None`` keeps the
+        #: per-step hot path free of profiling branches' costs beyond
+        #: one identity check.
+        self.hotspots = None
+        self._hotspots_auto = False
 
         self.memory.map_zero(stack_top - _STACK_SIZE_DEFAULT, _STACK_SIZE_DEFAULT)
         self.cpu.esp = stack_top - 64
@@ -320,6 +327,8 @@ class Emulator:
         insn = self._fetch_decode(eip)
         self.steps += 1
         self.cycles += cost_of(insn)
+        if self.hotspots is not None:
+            self.hotspots.record_step(insn.mnemonic)
         if self.trace_hook is not None:
             self.trace_hook(eip, insn)
         self.cpu.eip = (eip + insn.length) & MASK32
@@ -338,6 +347,7 @@ class Emulator:
         """
         from ..telemetry import get_metrics, get_tracer
 
+        self._maybe_enable_hotspots(get_metrics())
         start_steps = self.steps
         with get_tracer().span("emulate") as span:
             fault = None
@@ -377,13 +387,45 @@ class Emulator:
             fault=fault,
         )
 
+    def _maybe_enable_hotspots(self, metrics) -> None:
+        """Install a hot-spot profiler per the ``REPRO_HOTSPOTS`` env.
+
+        ``auto`` (default) samples whenever the metrics registry is
+        enabled; ``1`` forces sampling on and ``0`` forces it off (the
+        throughput benchmarks set ``0`` so profiling never skews their
+        numbers).  Never replaces a profiler a caller installed.
+        """
+        if self.hotspots is not None:
+            return
+        mode = _os.environ.get("REPRO_HOTSPOTS", "auto")
+        if mode == "1" or (mode != "0" and metrics.enabled):
+            from .hotspots import HotspotProfiler
+
+            self.hotspots = HotspotProfiler()
+            self._hotspots_auto = True
+
     def _record_engine_metrics(self, metrics) -> None:
         be = self._block_engine
         if be is not None:
             metrics.counter("emu.blocks.compiled").inc(be.compiled)
             metrics.counter("emu.blocks.hits").inc(be.hits)
+            metrics.counter("emu.blocks.epoch_hits").inc(be.epoch_hits)
+            metrics.counter("emu.blocks.page_revalidations").inc(
+                be.page_revalidations
+            )
             metrics.counter("emu.blocks.invalidated").inc(be.invalidated)
             metrics.counter("emu.blocks.write_aborts").inc(be.write_aborts)
+        hot = self.hotspots
+        if hot is not None:
+            for mnemonic, count in hot.top_mnemonics(16):
+                metrics.counter(f"emu.hot.mnemonic.{mnemonic}").inc(count)
+            for start, execs in hot.top_blocks(16):
+                metrics.counter(f"emu.hot.block.{start:#010x}").inc(execs)
+            if self._hotspots_auto:
+                # Counts were flushed into the registry; clear so
+                # repeated run() calls don't double-count.  A profiler
+                # installed by the caller is left intact for them.
+                hot.clear()
         mem = self.memory
         loads = mem.fast_loads + mem.slow_loads
         stores = mem.fast_stores + mem.slow_stores

@@ -114,12 +114,20 @@ def profile_run(
     stdin: bytes = b"",
     max_steps: int = 5_000_000,
     debugger_attached: bool = False,
+    hotspots=None,
 ):
-    """Run ``image`` under the profiler; returns (RunResult, Profiler)."""
+    """Run ``image`` under the profiler; returns (RunResult, Profiler).
+
+    Pass a :class:`repro.emu.hotspots.HotspotProfiler` as ``hotspots``
+    to also collect per-mnemonic samples during the same run (the
+    profiler forces the step engine, so every instruction is sampled).
+    """
     from .syscalls import OperatingSystem
 
     os = OperatingSystem(stdin=stdin, debugger_attached=debugger_attached)
     emulator = Emulator(image, os=os, max_steps=max_steps)
+    if hotspots is not None:
+        emulator.hotspots = hotspots
     profiler = Profiler(image)
     profiler.attach(emulator)
     result = emulator.run()

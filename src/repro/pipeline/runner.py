@@ -12,8 +12,10 @@ Fans :meth:`Parallax.protect` out across corpus programs with
   byte-identical images;
 * **per-worker telemetry** — every task runs under a private metrics
   registry whose samples are merged into the parent's process-wide
-  registry in input order (:meth:`MetricsRegistry.merge_samples`), so
-  ``--metrics`` output is one registry no matter the worker count;
+  registry in input order (:meth:`MetricsRegistry.merge_samples`), and
+  under a private tracer whose finished spans are adopted into the
+  parent trace (:meth:`Tracer.ingest`), so ``--metrics``/``--trace``
+  output is one registry/trace no matter the worker count;
 * **caching** — workers share the parent's on-disk cache tier, so a
   warm ``protect-all`` deserializes instead of re-protecting, and a
   second run of the same corpus is nearly free.
@@ -31,7 +33,14 @@ from ..cache import cache_manager, configure_cache
 from ..core.config import ProtectConfig
 from ..core.protector import Parallax, ProtectedProgram
 from ..corpus import PROGRAM_NAMES, build_program_cached
-from ..telemetry import MetricsRegistry, get_metrics, get_tracer, set_metrics
+from ..telemetry import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    set_metrics,
+    set_tracer,
+)
 
 __all__ = [
     "PipelineResult",
@@ -140,11 +149,18 @@ def _run_task(task: dict) -> dict:
     Runs under a private metrics registry so per-worker counts can be
     merged deterministically in the parent; returns only picklable
     data.  Used both by pool workers and the ``jobs=1`` inline path.
+
+    When the parent's tracer is enabled (``task["tracing"]``), a
+    private tracer captures this task's spans too; the parent adopts
+    them via :meth:`Tracer.ingest` under its ``pipeline.program`` span,
+    so worker spans are no longer dropped in multiprocessing runs.
     """
     name = task["name"]
     config: ProtectConfig = task["config"]
     registry = MetricsRegistry(enabled=True)
+    tracer = Tracer(enabled=bool(task.get("tracing")))
     previous = set_metrics(registry)
+    previous_tracer = set_tracer(tracer)
     try:
         start = time.perf_counter()
         program = build_program_cached(name)
@@ -162,8 +178,10 @@ def _run_task(task: dict) -> dict:
                 and run.exit_status == baseline.exit_status
             )
         samples = registry.to_dict()
+        spans = tracer.to_events()
     finally:
         set_metrics(previous)
+        set_tracer(previous_tracer)
     hits = samples.get("cache.protect.hits", {}).get("value", 0)
     return {
         "name": name,
@@ -174,6 +192,7 @@ def _run_task(task: dict) -> dict:
         "cache_hit": hits > 0,
         "behaviour_preserved": behaviour,
         "metrics": samples,
+        "spans": spans,
         "pid": os.getpid(),
     }
 
@@ -248,6 +267,7 @@ def protect_all(
             "use_cache": use_cache,
             "verify": verify,
             "max_steps": max_steps,
+            "tracing": get_tracer().enabled,
         }
         for name in names
     ]
@@ -281,6 +301,10 @@ def protect_all(
                 cache_hit=entry["cache_hit"],
             ) as span:
                 span.set_attribute("elapsed_s", entry["elapsed"])
+                # Adopt the worker's spans under this program's span so
+                # multiprocessing runs trace like inline ones.
+                if entry.get("spans"):
+                    tracer.ingest(entry["spans"], parent_id=span.span_id)
             results.append(
                 PipelineResult(
                     entry["name"],

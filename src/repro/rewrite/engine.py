@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from ..binary.image import BinaryImage
 from ..gadgets.catalog import GadgetCatalog
-from ..telemetry import get_metrics, get_tracer
+from ..telemetry import get_metrics, get_recorder, get_tracer
 from .report import ProtectabilityReport, RULE_IMM, RULE_JUMP
 from .rules import (
     ExistingGadgetRule,
@@ -71,6 +71,16 @@ class RewriteEngine:
                 metrics.counter(f"rewrite.rule_hits.{rule_name}").inc(hits)
                 span.set_attribute(rule_name, hits)
             metrics.counter("rewrite.analyses").inc()
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.record(
+                    "rewrite",
+                    image=image.name,
+                    existing_near=len(result.existing_gadgets),
+                    far_return=len(result.far_gadgets),
+                    immediate=len(result.immediate_candidates),
+                    jump_offset=len(result.jump_candidates),
+                )
             return result
 
     # ------------------------------------------------------------------

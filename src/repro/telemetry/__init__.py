@@ -8,13 +8,18 @@ Process-wide accessors::
     with get_tracer().span("protect", program="wget"):
         get_metrics().counter("protect.runs").inc()
 
-The default registry and tracer start **disabled**: every instrument
-accessor returns a shared null object and every span is the shared null
-span, so instrumented code costs one function call on the cold paths
-and literally nothing on the emulator's per-step hot path (hooks are
-only installed when a tracer is enabled).  :func:`configure` flips
-either side on; :func:`telemetry_session` scopes that to a ``with``
-block and restores the previous state afterwards.
+The default registry, tracer, and flight recorder start **disabled**:
+every instrument accessor returns a shared null object, every span is
+the shared null span, and :meth:`FlightRecorder.record` returns
+immediately — so instrumented code costs one function call on the cold
+paths and literally nothing on the emulator's per-step hot path (hooks
+are only installed when a tracer is enabled).  :func:`configure` flips
+any side on; :func:`telemetry_session` scopes that to a ``with`` block
+and restores the previous state afterwards.
+
+Exporters live in :mod:`repro.telemetry.export`: Chrome trace-event
+JSON from the tracer, Prometheus text from the registry, and the
+``repro stats`` dashboard over any exported artifact.
 """
 
 from __future__ import annotations
@@ -23,6 +28,14 @@ from contextlib import contextmanager
 from typing import Optional
 
 from .chains import ChainExecutionTracer, ChainStep, trace_chain_run
+from .export import (
+    chrome_trace,
+    load_artifact,
+    prometheus_text,
+    render_stats,
+    write_chrome_trace,
+    write_prometheus,
+)
 from .metrics import (
     Counter,
     DEFAULT_TIME_BUCKETS,
@@ -31,13 +44,18 @@ from .metrics import (
     MetricsRegistry,
     Timer,
 )
+from .recorder import FlightRecorder, get_recorder, set_recorder
 from .tracing import Span, Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
     "Span", "Tracer",
+    "FlightRecorder", "get_recorder", "set_recorder",
     "ChainStep", "ChainExecutionTracer", "trace_chain_run",
+    "chrome_trace", "write_chrome_trace",
+    "prometheus_text", "write_prometheus",
+    "load_artifact", "render_stats",
     "get_metrics", "set_metrics", "get_tracer", "set_tracer",
     "configure", "disable", "telemetry_session",
 ]
@@ -69,37 +87,51 @@ def set_tracer(tracer: Tracer) -> Tracer:
 
 
 def configure(
-    metrics: Optional[bool] = None, tracing: Optional[bool] = None
+    metrics: Optional[bool] = None,
+    tracing: Optional[bool] = None,
+    recorder: Optional[bool] = None,
 ) -> None:
-    """Enable/disable the process-wide registry and tracer in place.
+    """Enable/disable the process-wide telemetry objects in place.
 
     ``None`` leaves that side untouched.  Enabling an already-populated
     registry keeps its instruments; use ``get_metrics().reset()`` for a
-    clean slate.
+    clean slate (likewise ``get_recorder().clear()``).
     """
     if metrics is not None:
         _metrics.enabled = metrics
     if tracing is not None:
         _tracer.enabled = tracing
+    if recorder is not None:
+        get_recorder().enabled = recorder
 
 
 def disable() -> None:
-    configure(metrics=False, tracing=False)
+    configure(metrics=False, tracing=False, recorder=False)
 
 
 @contextmanager
-def telemetry_session(metrics: bool = True, tracing: bool = True):
-    """Fresh, enabled registry + tracer for the duration of the block.
+def telemetry_session(
+    metrics: bool = True, tracing: bool = True, recorder: bool = False
+):
+    """Fresh, enabled registry + tracer (+ optional flight recorder)
+    for the duration of the block.
 
     Yields ``(MetricsRegistry, Tracer)``; the previous process-wide
-    objects (and their enabled state) are restored on exit.
+    objects (and their enabled state) are restored on exit.  When
+    ``recorder`` is true a fresh :class:`FlightRecorder` is installed
+    for the block too — fetch it with :func:`get_recorder`.
     """
     new_metrics = MetricsRegistry(enabled=metrics)
     new_tracer = Tracer(enabled=tracing)
     old_metrics = set_metrics(new_metrics)
     old_tracer = set_tracer(new_tracer)
+    old_recorder = (
+        set_recorder(FlightRecorder(enabled=True)) if recorder else None
+    )
     try:
         yield new_metrics, new_tracer
     finally:
         set_metrics(old_metrics)
         set_tracer(old_tracer)
+        if old_recorder is not None:
+            set_recorder(old_recorder)

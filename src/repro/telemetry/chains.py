@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, Set
 
+from .recorder import get_recorder
+
 __all__ = ["ChainStep", "ChainExecutionTracer", "trace_chain_run"]
 
 
@@ -133,6 +135,15 @@ class ChainExecutionTracer:
                 self.steps.pop(0)
                 self.dropped += 1
             self.steps.append(step)
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.record(
+                    "chain_dispatch",
+                    gadget=eip,
+                    esp=esp,
+                    seq=step.seq,
+                    preferred=step.preferred,
+                )
         if self._current is not None:
             self._current.mnemonics.append(insn.mnemonic)
             if insn.is_return:
@@ -232,4 +243,22 @@ def trace_chain_run(
     tracer = ChainExecutionTracer.for_record(record, preferred=preferred)
     tracer.install(emulator)
     result = emulator.run()
+
+    from . import get_metrics  # late: avoid import cycle at module load
+
+    metrics = get_metrics()
+    metrics.counter("chains.traced").inc()
+    if result.crashed:
+        culprit = tracer.corrupted_gadget(result.fault)
+        if culprit is not None:
+            metrics.counter("chains.corruptions_attributed").inc()
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.record(
+                    "chain_corruption",
+                    gadget=culprit,
+                    fault=type(result.fault).__name__,
+                    fault_eip=getattr(result.fault, "eip", None),
+                    steps_recorded=len(tracer.steps),
+                )
     return result, tracer

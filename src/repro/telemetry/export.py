@@ -1,0 +1,380 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, stats rendering.
+
+Turns the in-memory telemetry objects (or their previously exported
+artifacts) into the formats external tools speak:
+
+* :func:`chrome_trace` — the Chrome trace-event format (``traceEvents``
+  with ``ph``/``ts``/``dur``/``pid``/``tid``), loadable in Perfetto or
+  ``chrome://tracing``, built from the span tracer;
+* :func:`prometheus_text` — the Prometheus text exposition format from
+  a metrics registry (counters as ``_total``, histograms as cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``/``_stddev``);
+* :func:`load_artifact` / :func:`render_stats` — sniff any exported
+  artifact (metrics JSON, span JSONL, journal JSONL, Chrome trace) and
+  render the human dashboard behind ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "load_artifact",
+    "render_stats",
+]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(
+    spans: Iterable,
+    pid: Optional[int] = None,
+    process_name: str = "repro",
+) -> dict:
+    """Trace-event JSON from spans (``Span`` objects or exported dicts).
+
+    Every span becomes one complete (``ph: "X"``) event with
+    microsecond wall-clock ``ts`` and ``dur``, so nesting reconstructs
+    visually from timing alone; span/parent ids ride along in ``args``.
+    """
+    pid = os.getpid() if pid is None else pid
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        record = span if isinstance(span, dict) else span.to_dict()
+        args = dict(record.get("attributes") or {})
+        args["span_id"] = record.get("span_id")
+        if record.get("parent_id") is not None:
+            args["parent_id"] = record["parent_id"]
+        if record.get("status") not in (None, "ok"):
+            args["status"] = record["status"]
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(record.get("start_ts", 0.0) * 1e6, 3),
+                "dur": round(record.get("duration_s", 0.0) * 1e6, 3),
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str, **kwargs) -> None:
+    payload = chrome_trace(tracer.to_events(), **kwargs)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_BAD.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry) -> str:
+    """Prometheus text format from a registry or an exported samples dict.
+
+    Histogram buckets are converted from the registry's per-bucket
+    counts to Prometheus's cumulative ``le`` series; ``sum_sq`` (when
+    present) is surfaced as a ``_stddev`` gauge so dashboards get
+    spread without a second scrape.
+    """
+    samples = (
+        registry.to_dict() if isinstance(registry, MetricsRegistry) else registry
+    )
+    lines: List[str] = []
+    for name in sorted(samples):
+        sample = samples[name]
+        kind = sample.get("type")
+        base = _prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total {_prom_value(sample['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_prom_value(sample['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bucket in sample["buckets"]:
+                cumulative += bucket["count"]
+                le = bucket["le"]
+                le_text = le if le == "+Inf" else _prom_value(le)
+                lines.append(f'{base}_bucket{{le="{le_text}"}} {cumulative}')
+            lines.append(f"{base}_sum {_prom_value(sample['sum'])}")
+            lines.append(f"{base}_count {sample['count']}")
+            if sample.get("stddev") is not None:
+                lines.append(f"# TYPE {base}_stddev gauge")
+                lines.append(f"{base}_stddev {_prom_value(sample['stddev'])}")
+        else:
+            raise ValueError(f"cannot export sample of type {kind!r}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(registry))
+
+
+# ----------------------------------------------------------------------
+# Artifact sniffing
+# ----------------------------------------------------------------------
+
+
+def load_artifact(path: str) -> Tuple[str, Any]:
+    """Load any exported telemetry artifact; returns ``(kind, data)``.
+
+    Kinds: ``metrics`` (samples dict), ``trace`` (span dicts),
+    ``journal`` (event dicts), ``chrome`` (trace-event payload).
+    """
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty artifact")
+    if stripped.startswith("{") and "\n{" not in stripped.rstrip():
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict):
+            if "traceEvents" in payload:
+                return "chrome", payload
+            if all(isinstance(v, dict) and "type" in v for v in payload.values()):
+                return "metrics", payload
+    # JSONL: one object per line
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    types = {r.get("type") for r in records}
+    if types <= {"span"}:
+        return "trace", records
+    if types <= {"event", "journal_summary"}:
+        return "journal", records
+    if types <= {"chain_step", "chain_trace"}:
+        return "journal", records
+    raise ValueError(f"{path}: unrecognized artifact (record types {sorted(types)})")
+
+
+# ----------------------------------------------------------------------
+# The `repro stats` dashboard
+# ----------------------------------------------------------------------
+
+
+def _counter(samples: Dict[str, dict], name: str) -> float:
+    return samples.get(name, {}).get("value", 0)
+
+
+def _fmt_rate(num: float, den: float) -> str:
+    return f"{num / den:.2%}" if den else "n/a"
+
+
+def _stats_metrics(samples: Dict[str, dict]) -> List[str]:
+    lines: List[str] = []
+
+    # -- engine block cache -------------------------------------------
+    compiled = _counter(samples, "emu.blocks.compiled")
+    hits = _counter(samples, "emu.blocks.hits")
+    epoch_hits = _counter(samples, "emu.blocks.epoch_hits")
+    page_revals = _counter(samples, "emu.blocks.page_revalidations")
+    invalidated = _counter(samples, "emu.blocks.invalidated")
+    write_aborts = _counter(samples, "emu.blocks.write_aborts")
+    if compiled or hits:
+        lines.append("engine block cache")
+        lines.append(f"  blocks compiled            {int(compiled):>12,}")
+        lines.append(
+            f"  block-cache hits           {int(hits):>12,}"
+            f"   (hit rate {_fmt_rate(hits, hits + compiled)})"
+        )
+        lines.append(f"    tier-1 epoch fast-path   {int(epoch_hits):>12,}")
+        lines.append(f"    tier-2 page revalidated  {int(page_revals):>12,}")
+        lines.append("  invalidations")
+        lines.append(f"    tier-2 page-version      {int(invalidated):>12,}")
+        lines.append(f"    tier-3 in-block store    {int(write_aborts):>12,}")
+
+    # -- memory fast/slow paths ---------------------------------------
+    fast_loads = _counter(samples, "emu.mem.fast_loads")
+    slow_loads = _counter(samples, "emu.mem.slow_loads")
+    fast_stores = _counter(samples, "emu.mem.fast_stores")
+    slow_stores = _counter(samples, "emu.mem.slow_stores")
+    if fast_loads or slow_loads or fast_stores or slow_stores:
+        lines.append("memory paths")
+        lines.append(
+            f"  loads  fast {int(fast_loads):>12,} / slow {int(slow_loads):>10,}"
+            f"   (fast {_fmt_rate(fast_loads, fast_loads + slow_loads)})"
+        )
+        lines.append(
+            f"  stores fast {int(fast_stores):>12,} / slow {int(slow_stores):>10,}"
+            f"   (fast {_fmt_rate(fast_stores, fast_stores + slow_stores)})"
+        )
+
+    # -- chains & attacks ---------------------------------------------
+    evaluated = _counter(samples, "attacks.evaluated")
+    detected = _counter(samples, "attacks.detected")
+    undetected = _counter(samples, "attacks.undetected")
+    traced = _counter(samples, "chains.traced")
+    attributed = _counter(samples, "chains.corruptions_attributed")
+    if evaluated or traced:
+        lines.append("chain corruption attribution")
+        if evaluated:
+            lines.append(
+                f"  attacks evaluated          {int(evaluated):>12,}"
+                f"   (detected {int(detected):,}, undetected {int(undetected):,})"
+            )
+        if traced:
+            lines.append(
+                f"  chain runs traced          {int(traced):>12,}"
+                f"   (corruptions attributed {int(attributed):,})"
+            )
+
+    # -- hottest mnemonics --------------------------------------------
+    hot = sorted(
+        (
+            (name[len("emu.hot.mnemonic."):], sample["value"])
+            for name, sample in samples.items()
+            if name.startswith("emu.hot.mnemonic.") and sample["type"] == "counter"
+        ),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    if hot:
+        total = sum(count for _, count in hot)
+        lines.append("hottest mnemonics (top 10)")
+        for mnemonic, count in hot[:10]:
+            lines.append(
+                f"  {mnemonic:<8} {int(count):>14,}   ({_fmt_rate(count, total)})"
+            )
+    hot_blocks = sorted(
+        (
+            (name[len("emu.hot.block."):], sample["value"])
+            for name, sample in samples.items()
+            if name.startswith("emu.hot.block.") and sample["type"] == "counter"
+        ),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    if hot_blocks:
+        lines.append("hottest blocks (executions)")
+        for addr, count in hot_blocks[:10]:
+            lines.append(f"  {addr:<12} {int(count):>12,}")
+
+    # -- run totals ----------------------------------------------------
+    instructions = _counter(samples, "emu.instructions")
+    cycles = _counter(samples, "emu.cycles")
+    if instructions:
+        lines.append("run totals")
+        lines.append(f"  emulated instructions      {int(instructions):>12,}")
+        lines.append(f"  emulated cycles            {int(cycles):>12,}")
+        mispredicts = _counter(samples, "emu.ret_mispredicts")
+        lines.append(f"  return mispredicts         {int(mispredicts):>12,}")
+
+    if not lines:
+        lines.append(f"(no engine/chain samples among {len(samples)} instruments)")
+    return lines
+
+
+def _stats_spans(records: List[dict]) -> List[str]:
+    by_name: Dict[str, List[float]] = {}
+    for record in records:
+        by_name.setdefault(record["name"], []).append(
+            record.get("duration_s", 0.0)
+        )
+    lines = [f"spans: {len(records)} across {len(by_name)} names"]
+    ranked = sorted(
+        by_name.items(), key=lambda item: -sum(item[1])
+    )
+    lines.append(f"  {'name':<24} {'count':>7} {'total s':>10} {'mean s':>10}")
+    for name, durations in ranked[:10]:
+        total = sum(durations)
+        lines.append(
+            f"  {name:<24} {len(durations):>7} {total:>10.4f}"
+            f" {total / len(durations):>10.6f}"
+        )
+    return lines
+
+
+def _stats_journal(records: List[dict]) -> List[str]:
+    events = [r for r in records if r.get("type") == "event"]
+    summary = next(
+        (r for r in records if r.get("type") == "journal_summary"), None
+    )
+    kinds: Dict[str, int] = {}
+    for event in events:
+        kinds[event.get("kind", "?")] = kinds.get(event.get("kind", "?"), 0) + 1
+    lines = [f"journal: {len(events)} events retained"]
+    if summary is not None:
+        lines[0] += (
+            f" ({summary.get('recorded', len(events))} recorded,"
+            f" {summary.get('dropped', 0)} dropped)"
+        )
+    for kind in sorted(kinds, key=lambda k: (-kinds[k], k)):
+        lines.append(f"  {kind:<18} {kinds[kind]:>8,}")
+    if events:
+        span = events[-1].get("ts", 0.0) - events[0].get("ts", 0.0)
+        lines.append(f"  time span          {span:>8.3f}s")
+    return lines
+
+
+def _stats_chrome(payload: dict) -> List[str]:
+    events = [e for e in payload.get("traceEvents", []) if e.get("ph") == "X"]
+    spans = [
+        {"name": e["name"], "duration_s": e.get("dur", 0.0) / 1e6}
+        for e in events
+    ]
+    return [f"chrome trace: {len(events)} complete events"] + _stats_spans(spans)[1:]
+
+
+def render_stats(kind: str, data) -> str:
+    """Human dashboard for one loaded artifact (see :func:`load_artifact`)."""
+    if kind == "metrics":
+        lines = _stats_metrics(data)
+    elif kind == "trace":
+        lines = _stats_spans(data)
+    elif kind == "journal":
+        lines = _stats_journal(data)
+    elif kind == "chrome":
+        lines = _stats_chrome(data)
+    else:
+        raise ValueError(f"unknown artifact kind {kind!r}")
+    return "\n".join(lines)

@@ -97,12 +97,30 @@ class Gauge:
 class Histogram:
     """Distribution with explicit bucket upper bounds (``le`` semantics).
 
-    ``counts[i]`` is the number of observations with
-    ``value <= buckets[i]`` that did not fit an earlier bucket; the
-    final slot counts the +Inf overflow.
+    ``le`` semantics means each bound is an *inclusive upper* bound,
+    exactly like Prometheus: an observation ``v`` lands in the first
+    bucket with ``v <= bound``.  Unlike Prometheus exports, the
+    internal ``counts`` are **not cumulative** — ``counts[i]`` holds
+    only observations that fit ``buckets[i]`` and no earlier bound,
+    and the final extra slot is the +Inf overflow.  (Exporters that
+    need Prometheus's cumulative series build a running sum.)
+
+    Alongside ``sum`` the histogram tracks ``sum_sq`` (the sum of
+    squared observations) so exports can derive a streaming standard
+    deviation without retaining samples.
     """
 
-    __slots__ = ("name", "help", "buckets", "counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name",
+        "help",
+        "buckets",
+        "counts",
+        "count",
+        "sum",
+        "sum_sq",
+        "min",
+        "max",
+    )
 
     def __init__(
         self,
@@ -121,12 +139,14 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # +1 for +Inf
         self.count = 0
         self.sum = 0.0
+        self.sum_sq = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
+        self.sum_sq += value * value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -141,6 +161,53 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation from the streaming moments."""
+        if not self.count:
+            return 0.0
+        mean = self.sum / self.count
+        variance = self.sum_sq / self.count - mean * mean
+        # Floating-point cancellation can push tiny variances negative.
+        return variance ** 0.5 if variance > 0.0 else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0 <= q <= 1) from bucket counts.
+
+        Linear interpolation inside the bucket that holds the target
+        rank, like Prometheus's ``histogram_quantile``: observations
+        are assumed uniform between a bucket's lower and upper bound.
+        The +Inf overflow bucket and the extreme buckets are clamped
+        to the tracked ``min``/``max``, so estimates never leave the
+        observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        if q == 0.0:
+            return self.min if self.min is not None else 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.buckets):
+            in_bucket = self.counts[index]
+            if cumulative + in_bucket >= target:
+                lower = self.buckets[index - 1] if index else (
+                    self.min if self.min is not None else 0.0
+                )
+                lower = min(lower, bound)
+                fraction = (target - cumulative) / in_bucket
+                estimate = lower + (bound - lower) * fraction
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+            cumulative += in_bucket
+        # Target rank lies in the +Inf overflow: the best bound we have
+        # is the largest observation.
+        return self.max if self.max is not None else self.buckets[-1]
+
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """(upper_bound, count) pairs; the last bound is +Inf."""
         pairs = list(zip(self.buckets, self.counts))
@@ -153,9 +220,11 @@ class Histogram:
             "name": self.name,
             "count": self.count,
             "sum": self.sum,
+            "sum_sq": self.sum_sq,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "stddev": self.stddev,
             "buckets": [
                 {"le": bound if bound != float("inf") else "+Inf", "count": n}
                 for bound, n in self.bucket_counts()
@@ -381,6 +450,7 @@ class MetricsRegistry:
                     histogram.counts[index] += bucket["count"]
                 histogram.count += sample["count"]
                 histogram.sum += sample["sum"]
+                histogram.sum_sq += sample.get("sum_sq", 0.0)
                 for attr in ("min", "max"):
                     incoming = sample.get(attr)
                     if incoming is None:

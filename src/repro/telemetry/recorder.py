@@ -1,0 +1,164 @@
+"""Flight recorder: a bounded, structured event journal.
+
+Where the metrics registry aggregates (how many blocks were compiled)
+and the tracer times regions (how long did ``protect`` take), the
+flight recorder answers *what happened, in order* — the last N
+discrete events across every subsystem, cheap enough to leave running
+and small enough to dump whole on a crash.
+
+Event kinds recorded by the instrumented subsystems:
+
+========================  =============================================
+``protect``               one program protected (protector)
+``rewrite``               one binary analyzed/rewritten (rewrite engine)
+``chain_dispatch``        a verification chain entered a gadget
+                          (chain tracer; only while one is installed)
+``chain_corruption``      a dying chain attributed to a gadget
+``block_compile``         the block engine compiled a superblock
+``block_invalidate``      a superblock was discarded (``tier`` names
+                          which coherence tier caught it: ``page`` for
+                          the per-page write-version compare, ``store``
+                          for an in-block self-modifying store)
+``attack``                one attack evaluation scored
+========================  =============================================
+
+Design constraints (mirroring :mod:`repro.telemetry.metrics`):
+
+* **Bounded.**  Events live in a ring (``collections.deque`` with
+  ``maxlen``); the newest ``capacity`` events are kept and ``dropped``
+  counts the overwritten ones.  The journal can never grow without
+  bound, so it is safe to leave enabled in long runs.
+* **Near-zero when disabled.**  The process-wide recorder starts
+  disabled; :meth:`FlightRecorder.record` returns immediately and hot
+  call sites additionally guard with ``if recorder.enabled`` so the
+  disabled cost is one attribute load.  Nothing is retained.
+* **Monotonic timestamps.**  Events carry :func:`time.perf_counter`
+  offsets from the recorder's creation, plus one wall-clock anchor
+  (``start_wall``) so exports can be correlated with span traces.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["FlightRecorder", "get_recorder", "set_recorder"]
+
+
+class FlightRecorder:
+    """Ring-buffered structured event journal."""
+
+    #: Default ring capacity (events retained).
+    DEFAULT_CAPACITY = 8192
+
+    __slots__ = ("enabled", "capacity", "start_wall", "_t0", "_events", "_seq")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("recorder capacity must be >= 1")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.start_wall = time.time()
+        self._t0 = time.perf_counter()
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one event; no-op while disabled.
+
+        ``fields`` must be JSON-serializable; ``seq``, ``ts`` and
+        ``kind`` are reserved names.
+        """
+        if not self.enabled:
+            return
+        self._seq += 1
+        self._events.append(
+            (self._seq, time.perf_counter() - self._t0, kind, fields)
+        )
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by the ring since creation/clear."""
+        return self._seq - len(self._events)
+
+    def kinds(self) -> Dict[str, int]:
+        """Event count per kind among the retained events."""
+        out: Dict[str, int] = {}
+        for _, _, kind, _ in self._events:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._seq = 0
+
+    # -- export ---------------------------------------------------------
+
+    def iter_events(self) -> Iterator[dict]:
+        for seq, ts, kind, fields in self._events:
+            event = {"type": "event", "seq": seq, "ts": round(ts, 9), "kind": kind}
+            event.update(fields)
+            yield event
+
+    def to_events(self) -> List[dict]:
+        """Retained events, oldest first, as JSON-ready dicts."""
+        return list(self.iter_events())
+
+    def summary(self) -> dict:
+        return {
+            "type": "journal_summary",
+            "recorded": self._seq,
+            "retained": len(self._events),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "start_wall": self.start_wall,
+            "kinds": self.kinds(),
+        }
+
+    def dump(self, fh) -> None:
+        """Write the journal (events + summary) as JSONL to ``fh``.
+
+        Used for on-demand dumps and crash dumps alike — the CLI calls
+        this from a ``finally`` so a faulting run still leaves its
+        journal behind.
+        """
+        for event in self.iter_events():
+            fh.write(json.dumps(event, sort_keys=True))
+            fh.write("\n")
+        fh.write(json.dumps(self.summary(), sort_keys=True))
+        fh.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            self.dump(fh)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<FlightRecorder {state}, {len(self._events)}/{self.capacity} "
+            f"events, {self.dropped} dropped>"
+        )
+
+
+#: Process-wide recorder; starts disabled, like the registry and tracer.
+_recorder = FlightRecorder(enabled=False)
+
+
+def get_recorder() -> FlightRecorder:
+    """The process-wide flight recorder (disabled until configured)."""
+    return _recorder
+
+
+def set_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    global _recorder
+    previous, _recorder = _recorder, recorder
+    return previous

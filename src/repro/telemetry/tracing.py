@@ -195,6 +195,50 @@ class Tracer:
         self._stack.clear()
         self._next_id = 1
 
+    # -- ingest (spans exported by another tracer) ----------------------
+
+    def ingest(
+        self, events: List[dict], parent_id: Optional[int] = None
+    ) -> List[Span]:
+        """Adopt finished spans exported by another tracer's
+        :meth:`to_events`.
+
+        Used by the parallel pipeline to hoist worker spans into the
+        parent trace: span ids are remapped into this tracer's id space
+        (two passes, because exports arrive in completion order so
+        children precede their parents), and spans that were roots in
+        the source tracer are re-parented under ``parent_id``.
+        Wall-clock ``start_ts`` and durations are preserved; a disabled
+        tracer ignores ingests, matching :meth:`span`.
+        """
+        if not self.enabled:
+            return []
+        id_map: Dict[int, int] = {}
+        for event in events:
+            if event.get("type") != "span":
+                continue
+            id_map[event["span_id"]] = self._next_id
+            self._next_id += 1
+        adopted: List[Span] = []
+        for event in events:
+            if event.get("type") != "span":
+                continue
+            old_parent = event.get("parent_id")
+            span = Span(
+                event["name"],
+                span_id=id_map[event["span_id"]],
+                parent_id=id_map.get(old_parent, parent_id)
+                if old_parent is not None
+                else parent_id,
+                attributes=event.get("attributes"),
+            )
+            span.start_wall = event.get("start_ts", span.start_wall)
+            span.end = span.start + event.get("duration_s", 0.0)
+            span.status = event.get("status", "ok")
+            self.spans.append(span)
+            adopted.append(span)
+        return adopted
+
     # -- export ---------------------------------------------------------
 
     def to_events(self) -> List[dict]:

@@ -83,3 +83,93 @@ def test_profile_prints_cycle_table(capsys, cli_small_wget):
     out = capsys.readouterr().out
     assert "function" in out and "cycles" in out
     assert "checksum_words" in out
+    # the engine hot-spot table rides along with the function table
+    assert "engine hot spots" in out
+    assert "mnemonic" in out
+
+
+def test_protect_trace_to_stdout(capsys, cli_small_wget):
+    assert main(["protect", "wget", "--trace", "-"]) == 0
+    out = capsys.readouterr().out
+    spans = []
+    for line in out.splitlines():
+        if line.startswith("{"):
+            record = json.loads(line)
+            assert record["type"] == "span"
+            spans.append(record)
+    names = {s["name"] for s in spans}
+    assert {"protect", "find_gadgets", "emit_chain"} <= names
+    assert all(s["duration_s"] >= 0 for s in spans)
+
+
+def test_run_chrome_trace_is_valid_trace_event_json(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    assert main(["run", "gzip", "--chrome-trace", str(path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert events, "trace must not be empty"
+    for event in events:
+        assert "ph" in event and "pid" in event and "tid" in event
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete
+    for event in complete:
+        assert event["ts"] >= 0 and event["dur"] >= 0
+    assert "emulate" in {e["name"] for e in complete}
+
+
+def test_protect_journal_and_prom_files(tmp_path, capsys, cli_small_wget):
+    journal_path = tmp_path / "j.jsonl"
+    prom_path = tmp_path / "m.prom"
+    assert main([
+        "protect", "wget",
+        "--journal", str(journal_path), "--prom", str(prom_path),
+    ]) == 0
+    capsys.readouterr()
+
+    records = [json.loads(l) for l in journal_path.read_text().splitlines()]
+    summaries = [r for r in records if r["type"] == "journal_summary"]
+    assert len(summaries) == 1 and summaries[0]["recorded"] >= 1
+    kinds = {r["kind"] for r in records if r["type"] == "event"}
+    assert "protect" in kinds
+
+    prom = prom_path.read_text()
+    assert "# TYPE" in prom
+    assert "emu_instructions_total" in prom
+    assert '_bucket{le="+Inf"}' in prom
+
+
+def test_stats_dashboard_over_metrics(tmp_path, capsys, cli_small_wget):
+    metrics_path = tmp_path / "m.json"
+    assert main(["protect", "wget", "--metrics", str(metrics_path)]) == 0
+    capsys.readouterr()
+    assert main(["stats", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"{metrics_path} [metrics]" in out
+    assert "engine block cache" in out
+    assert "hit rate" in out
+    assert "tier-2 page-version" in out and "tier-3 in-block store" in out
+    assert "hottest mnemonics (top 10)" in out
+    assert "run totals" in out
+
+
+def test_stats_reports_unreadable_artifacts(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("")
+    assert main(["stats", str(bad), str(tmp_path / "missing.json")]) == 1
+    out = capsys.readouterr().out
+    assert out.count("ERROR") == 2
+
+
+def test_journal_written_even_when_the_command_dies(tmp_path, monkeypatch, capsys):
+    def explode(_name):
+        raise RuntimeError("synthetic crash")
+
+    monkeypatch.setattr("repro.cli.build_program", explode)
+    journal_path = tmp_path / "crash.jsonl"
+    with pytest.raises(RuntimeError):
+        main(["run", "gzip", "--journal", str(journal_path)])
+    capsys.readouterr()
+    # the crash dump still landed: events (possibly none) + summary
+    records = [json.loads(l) for l in journal_path.read_text().splitlines()]
+    assert records[-1]["type"] == "journal_summary"

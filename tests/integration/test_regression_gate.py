@@ -1,0 +1,149 @@
+"""The benchmark regression gate: history parsing, baselines, exits.
+
+Drives ``benchmarks/check_regression.py`` both in-process (for exact
+output) and as a subprocess (for the exit codes CI relies on).
+"""
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+BENCHMARKS = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+GATE = os.path.abspath(os.path.join(BENCHMARKS, "check_regression.py"))
+
+sys.path.insert(0, os.path.abspath(BENCHMARKS))
+
+import check_regression  # noqa: E402
+
+
+ENV = {"python": "3.12.0", "machine": "x86_64", "engine": "block"}
+
+
+def entry(metrics, env=ENV, sha="abc123"):
+    return {
+        "benchmark": "emulator",
+        "timestamp": 0.0,
+        "git_sha": sha,
+        "env": env,
+        "metrics": metrics,
+    }
+
+
+def write_history(tmp_path, entries):
+    path = tmp_path / "emulator.jsonl"
+    with open(path, "w") as fh:
+        for e in entries:
+            fh.write(json.dumps(e) + "\n")
+    return str(tmp_path)
+
+
+def run_gate(history_dir, *extra):
+    return subprocess.run(
+        [sys.executable, GATE, "--bench", "emulator", "--history", history_dir]
+        + list(extra),
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_synthetic_twenty_percent_slowdown_fails(tmp_path):
+    baseline = {"gzip.chain.block_ips": 1_000_000.0, "speedup": 3.0}
+    slow = {"gzip.chain.block_ips": 800_000.0, "speedup": 2.4}
+    history = write_history(tmp_path, [entry(baseline)] * 3 + [entry(slow)])
+    result = run_gate(history)
+    assert result.returncode == 1, result.stdout
+    assert "REGRESSION" in result.stdout
+    assert "0.800x" in result.stdout
+
+
+def test_steady_history_passes(tmp_path):
+    metrics = {"gzip.chain.block_ips": 1_000_000.0}
+    history = write_history(tmp_path, [entry(metrics)] * 4)
+    result = run_gate(history)
+    assert result.returncode == 0, result.stdout
+    assert "ok" in result.stdout
+
+
+def test_improvement_passes(tmp_path):
+    history = write_history(
+        tmp_path,
+        [entry({"ips": 100.0}), entry({"ips": 100.0}), entry({"ips": 150.0})],
+    )
+    result = run_gate(history)
+    assert result.returncode == 0
+    assert "1.500x" in result.stdout
+
+
+def test_insufficient_history_is_not_a_failure(tmp_path):
+    history = write_history(tmp_path, [entry({"ips": 100.0})])
+    result = run_gate(history)
+    assert result.returncode == 0
+    assert "insufficient history" in result.stdout
+
+
+def test_missing_history_is_not_a_failure(tmp_path):
+    result = run_gate(str(tmp_path / "nowhere"))
+    assert result.returncode == 0
+    assert "no history" in result.stdout
+
+
+def test_usage_errors_exit_two(tmp_path):
+    history = write_history(tmp_path, [entry({"ips": 100.0})] * 2)
+    assert run_gate(history, "--threshold", "1.5").returncode == 2
+    assert run_gate(history, "--min-runs", "1").returncode == 2
+
+
+# ----------------------------------------------------------------------
+# In-process unit checks
+# ----------------------------------------------------------------------
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    path = tmp_path / "emulator.jsonl"
+    path.write_text(
+        json.dumps(entry({"ips": 100.0}))
+        + "\n{truncated by a killed run\n\n"
+        + json.dumps(entry({"ips": 101.0}))
+        + "\n[1, 2, 3]\n"
+    )
+    entries = check_regression.load_history(str(path))
+    assert len(entries) == 2
+
+
+def test_baseline_uses_median_over_window():
+    entries = [entry({"ips": v}) for v in (10.0, 1000.0, 90.0, 100.0, 110.0)]
+    baseline = check_regression.baseline_metrics(entries, window=3)
+    assert baseline["ips"] == 100.0  # the outliers fall outside/median out
+
+
+def test_env_mismatch_is_noted_not_gated():
+    old = [entry({"ips": 100.0}, env={"python": "3.8.0"})] * 3
+    candidate = entry({"ips": 84.0})  # 16% down vs the other-env runs
+    buf = io.StringIO()
+    rc = check_regression.check(
+        old + [candidate], threshold=0.15, window=5, min_runs=2, out=buf
+    )
+    # cross-env comparison still happens, with an explicit note
+    assert "no prior runs share the candidate's environment" in buf.getvalue()
+    assert rc == 1  # the slowdown is still reported against what exists
+
+
+def test_same_env_history_preferred():
+    other_env = [entry({"ips": 10_000.0}, env={"python": "3.8.0"})] * 3
+    same_env = [entry({"ips": 100.0})] * 3
+    candidate = entry({"ips": 99.0})
+    rc = check_regression.check(
+        other_env + same_env + [candidate],
+        threshold=0.15,
+        window=5,
+        min_runs=2,
+    )
+    assert rc == 0  # judged against same-env 100.0, not the 10k outliers
+
+
+def test_no_comparable_metrics_errors():
+    entries = [entry({"a": 1.0}), entry({"b": 2.0})]
+    rc = check_regression.check(entries, threshold=0.15, window=5, min_runs=2)
+    assert rc == 1

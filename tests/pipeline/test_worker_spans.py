@@ -1,0 +1,69 @@
+"""Worker span propagation: protect_all traces survive multiprocessing.
+
+Workers run under private tracers and ship their finished spans back
+with the result payload; the parent adopts them under its per-program
+``pipeline.program`` span, so a ``jobs=N`` run traces like an inline
+one instead of silently dropping worker spans.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.cache import cache_session
+from repro.pipeline import protect_all
+
+NAMES = ["wget", "gzip"]
+
+
+def _spans_by_name(tracer):
+    out = {}
+    for span in tracer.spans:
+        out.setdefault(span.name, []).append(span)
+    return out
+
+
+def _assert_worker_spans_adopted(tracer):
+    spans = _spans_by_name(tracer)
+    programs = spans["pipeline.program"]
+    assert len(programs) == len(NAMES)
+    program_ids = {s.span_id for s in programs}
+    # each program's worker-side protect span hangs off its
+    # pipeline.program span in the parent trace
+    protects = spans["protect"]
+    assert len(protects) == len(NAMES)
+    assert {s.parent_id for s in protects} <= program_ids
+    # and the worker-internal nesting came across intact
+    protect_ids = {s.span_id for s in protects}
+    for child_name in ("find_gadgets", "emit_chain"):
+        for child in spans[child_name]:
+            assert child.parent_id in protect_ids, child_name
+    # ids stay unique after ingestion
+    ids = [s.span_id for s in tracer.spans]
+    assert len(ids) == len(set(ids))
+
+
+def test_parallel_run_propagates_worker_spans():
+    with cache_session(enabled=False):
+        with telemetry.telemetry_session() as (_metrics, tracer):
+            results = protect_all(names=NAMES, jobs=2, use_cache=False)
+    assert len({r.worker_pid for r in results}) == 2
+    _assert_worker_spans_adopted(tracer)
+
+
+def test_inline_run_traces_identically_shaped():
+    with cache_session(enabled=False):
+        with telemetry.telemetry_session() as (_metrics, tracer):
+            protect_all(names=NAMES, jobs=1, use_cache=False)
+    _assert_worker_spans_adopted(tracer)
+
+
+def test_disabled_tracer_ships_no_spans():
+    # tracing off: workers must not pay for span capture, and nothing
+    # is adopted in the parent
+    tracer = telemetry.get_tracer()
+    if tracer.enabled:
+        pytest.skip("another component enabled the default tracer")
+    before = len(tracer.spans)
+    with cache_session(enabled=False):
+        protect_all(names=["wget"], jobs=1, use_cache=False)
+    assert len(tracer.spans) == before

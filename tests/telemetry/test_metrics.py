@@ -208,3 +208,77 @@ def test_merge_samples_disabled_registry_is_noop():
     parent = MetricsRegistry(enabled=False)
     parent.merge_samples(worker.to_dict())
     assert "jobs" not in parent
+
+
+def test_histogram_streaming_stddev():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(100,))
+    for value in (2, 4, 4, 4, 5, 5, 7, 9):
+        hist.observe(value)
+    # classic textbook set: population stddev exactly 2
+    assert hist.stddev == pytest.approx(2.0)
+    assert hist.sum_sq == pytest.approx(sum(v * v for v in (2, 4, 4, 4, 5, 5, 7, 9)))
+    data = hist.to_dict()
+    assert data["stddev"] == pytest.approx(2.0)
+    assert data["sum_sq"] == pytest.approx(hist.sum_sq)
+
+
+def test_histogram_stddev_degenerate_cases():
+    registry = MetricsRegistry()
+    empty = registry.histogram("empty_h", buckets=(1,))
+    assert empty.stddev == 0.0
+    constant = registry.histogram("const_h", buckets=(1e9,))
+    for _ in range(5):
+        constant.observe(2.0 ** 27)  # exact in binary: variance is 0
+    assert constant.stddev == 0.0
+    # float cancellation pushing the variance slightly negative must
+    # clamp to 0, not raise or return NaN
+    clamped = registry.histogram("clamp_h", buckets=(10,))
+    clamped.observe(3.0)
+    clamped.observe(3.0)
+    clamped.sum_sq -= 1e-9
+    assert clamped.stddev == 0.0
+
+
+def test_histogram_quantile_interpolates_within_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("q", buckets=(10, 20, 30))
+    for value in range(1, 31):  # 1..30 uniform: 10 per bucket
+        hist.observe(value)
+    assert hist.quantile(0.0) == 1  # exact min
+    assert hist.quantile(1.0) == 30  # clamped to observed max
+    # median target rank 15 lands mid second bucket (10, 20]
+    assert 10 <= hist.quantile(0.5) <= 20
+    assert hist.quantile(0.5) == pytest.approx(15.0)
+    assert hist.quantile(0.25) <= hist.quantile(0.75)
+
+
+def test_histogram_quantile_bounds_and_overflow():
+    registry = MetricsRegistry()
+    hist = registry.histogram("q", buckets=(1, 10))
+    with pytest.raises(ValueError):
+        hist.quantile(-0.1)
+    with pytest.raises(ValueError):
+        hist.quantile(1.1)
+    assert hist.quantile(0.5) == 0.0  # empty histogram
+    hist.observe(5)
+    hist.observe(5000)  # +Inf overflow
+    # a rank inside the overflow bucket reports the observed max, the
+    # only finite bound available
+    assert hist.quantile(0.99) == 5000
+    # estimates never leave [min, max]
+    assert hist.quantile(0.25) >= hist.min
+
+
+def test_merge_samples_folds_sum_sq():
+    worker_a = MetricsRegistry(enabled=True)
+    worker_a.histogram("lat", buckets=(10,)).observe(3)
+    worker_b = MetricsRegistry(enabled=True)
+    worker_b.histogram("lat", buckets=(10,)).observe(4)
+    parent = MetricsRegistry(enabled=True)
+    parent.merge_samples(worker_a.to_dict())
+    parent.merge_samples(worker_b.to_dict())
+    hist = parent.histogram("lat", buckets=(10,))
+    assert hist.sum_sq == pytest.approx(25.0)
+    # mean 3.5, E[x^2] 12.5 -> stddev 0.5
+    assert hist.stddev == pytest.approx(0.5)
