@@ -1,4 +1,4 @@
-"""§VI / §IX — the attack matrix.
+"""§VI / §IX — the attack matrix, with detection-latency columns.
 
 Static tampering vs the Wurster instruction-cache attack, against an
 unprotected binary, self-checksumming, and Parallax.  Expected:
@@ -10,17 +10,42 @@ unprotected    undetected    undetected
 checksumming   DETECTED      undetected  <- Wurster's result
 parallax       DETECTED      DETECTED    <- the paper's contribution
 =============  ============  =======================
+
+Each detected cell also reports ``cycles_to_corruption`` (tamper ->
+first execution of tampered bytes) and ``cycles_to_detection`` (tamper
+-> externally observable failure), stamped by the emulator's
+:class:`~repro.emu.TamperWatch`.  The Parallax rows tag the tampered
+gadget's Fig. 6 rewrite rule so the telemetry histograms get one
+``attacks.cycles_to_detection.<attack>.<rule>`` cell per combination.
+
+Alongside the matrix the benchmark measures Parallax's protection
+coverage (fraction of protected bytes guarded by at least one chain)
+and appends both to ``benchmarks/history/attack_matrix.jsonl``:
+``coverage_percent`` directly and the latency as ``detection_speed``
+(reciprocal geomean, so higher is better — the regression gate assumes
+that).  Raw geomeans land in ``BENCH_attack_matrix.json``.
 """
 
-import pytest
+import json
+import math
+import os
 
 from repro.attacks import evaluate_patch_attack, evaluate_wurster_attack
 from repro.baselines import ChecksummedProgram
 from repro.binary import Patch
 from repro.core import Parallax, ProtectConfig
 from repro.corpus import build_gzip
+from repro.coverage import build_coverage
+from repro.rewrite import RewriteEngine
+
+import _shared
 
 COLD_FUNCTION = "gz_fill_005"
+
+OUTPUT = os.environ.get(
+    "REPRO_BENCH_ATTACK_MATRIX",
+    os.path.join(os.path.dirname(__file__), "BENCH_attack_matrix.json"),
+)
 
 
 def _setting():
@@ -51,28 +76,94 @@ def _patch(image, protected=None):
     return Patch(addr, old, bytes([old[0] ^ 0xFF]))
 
 
+def _geomean(values):
+    values = [v for v in values if v]
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _fmt_cycles(value):
+    return f"{value:,}" if value is not None else "-"
+
+
 def test_attack_matrix(benchmark):
     def run_matrix():
         program, goal, parallax, checksummed = _setting()
-        rows = {}
+        rules = RewriteEngine().classify_gadgets(parallax.image)
+        coverage = build_coverage(
+            parallax.image, parallax.report, classify_rules=False
+        )
+        cells = {}
         for label, image, prot in (
             ("unprotected", program.image, None),
             ("checksumming", checksummed.image, None),
             ("parallax", parallax.image, parallax),
         ):
             patch = _patch(image, prot)
-            rows[label] = (
-                evaluate_patch_attack(image, [patch], goal, label).detected,
-                evaluate_wurster_attack(image, [patch], goal, label).detected,
+            rule = rules.get(patch.vaddr) if prot is not None else None
+            cells[label] = (
+                evaluate_patch_attack(image, [patch], goal, label, rule=rule),
+                evaluate_wurster_attack(image, [patch], goal, label, rule=rule),
             )
-        return rows
+        return cells, coverage
 
-    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    cells, coverage = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
     print()
-    print("=== Attack matrix (static, wurster) detected? ===")
-    for label, (static, wurster) in rows.items():
-        print(f"{label:<14} static={'DETECTED' if static else 'undetected':<12} "
-              f"wurster={'DETECTED' if wurster else 'undetected'}")
+    print("=== Attack matrix: detected? / cycles to corruption / detection ===")
+    for label, (static, wurster) in cells.items():
+        for kind, outcome in (("static", static), ("wurster", wurster)):
+            verdict = "DETECTED" if outcome.detected else "undetected"
+            print(
+                f"{label:<14} {kind:<8} {verdict:<11} "
+                f"corruption={_fmt_cycles(outcome.cycles_to_corruption):>12} "
+                f"detection={_fmt_cycles(outcome.cycles_to_detection):>12}"
+            )
+    coverage_percent = 100.0 * coverage.coverage_fraction
+    print(f"parallax coverage: {coverage.covered_bytes}/"
+          f"{coverage.protected_bytes} protected bytes "
+          f"({coverage_percent:.1f}%), {len(coverage.spof_addresses())} SPOF")
+
+    detected = [
+        o for pair in cells.values() for o in pair if o.detected
+    ]
+    # Every detected attack must carry a finite latency stamp.
+    assert all(o.cycles_to_detection is not None for o in detected)
+    assert all(o.cycles_to_detection >= 0 for o in detected)
+    detection_geomean = _geomean([o.cycles_to_detection for o in detected])
+    corruption_geomean = _geomean(
+        [o.cycles_to_corruption for o in detected
+         if o.cycles_to_corruption is not None]
+    )
+
+    if OUTPUT:
+        payload = {
+            "matrix": {
+                label: {
+                    "static": pair[0].to_dict(),
+                    "wurster": pair[1].to_dict(),
+                }
+                for label, pair in cells.items()
+            },
+            "coverage_percent": round(coverage_percent, 3),
+            "spof_bytes": len(coverage.spof_addresses()),
+            "cycles_to_detection_geomean": detection_geomean,
+            "cycles_to_corruption_geomean": corruption_geomean,
+        }
+        with open(OUTPUT, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
+    history = {"coverage_percent": coverage_percent}
+    if detection_geomean:
+        # The regression gate wants higher-is-better: record the
+        # reciprocal (detections per emulated gigacycle).
+        history["detection_speed"] = 1e9 / detection_geomean
+    _shared.record_history("attack_matrix", history)
+
+    rows = {
+        label: (pair[0].detected, pair[1].detected)
+        for label, pair in cells.items()
+    }
     assert rows["unprotected"] == (False, False)
     assert rows["checksumming"] == (True, False)   # Wurster defeats it
     assert rows["parallax"] == (True, True)        # Parallax does not care

@@ -14,13 +14,72 @@ reaches ``trigger``, the patch is applied; when it reaches ``restore_at``
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional, Tuple
 
 from ..binary.image import BinaryImage
 from ..binary.patch import Patch
-from ..emu import Emulator, EmulationError, OperatingSystem, RunResult
+from ..emu import (
+    Emulator,
+    EmulationError,
+    OperatingSystem,
+    RunResult,
+    TamperWatch,
+)
 from ..emu.syscalls import ExitProgram
 from .harness import AttackOutcome, score_run
+
+
+def _run_restore(
+    image: BinaryImage,
+    patch: Patch,
+    trigger: int,
+    restore_after_steps: int,
+    debugger_attached: bool = False,
+    max_steps: int = 200_000_000,
+) -> Tuple[RunResult, Optional[int], TamperWatch]:
+    """Drive the restore attack; returns ``(run, tamper_cycles, watch)``.
+
+    ``tamper_cycles`` is the cycle counter when the patch landed
+    (``None`` if the trigger was never reached).  The watch stamps the
+    first execution of the patched bytes *during the tamper window*; at
+    revert time an unhit watch is disarmed — the bytes are pristine
+    again, so later executions are not corruption.
+    """
+    os = OperatingSystem(debugger_attached=debugger_attached)
+    emulator = Emulator(image, os=os, max_steps=max_steps)
+    watch = TamperWatch([(patch.vaddr, patch.vaddr + len(patch.new))])
+    applied_at: Optional[int] = None
+    tamper_cycles: Optional[int] = None
+    applied = False
+    reverted = False
+
+    fault = None
+    try:
+        while True:
+            if not applied and emulator.cpu.eip == trigger:
+                emulator.memory.write(patch.vaddr, patch.new)
+                applied = True
+                applied_at = emulator.steps
+                tamper_cycles = emulator.cycles
+                emulator.tamper_watch = watch
+            if applied and not reverted and emulator.steps - applied_at >= restore_after_steps:
+                emulator.memory.write(patch.vaddr, patch.old)
+                reverted = True
+                if not watch.hit:
+                    emulator.tamper_watch = None
+            emulator.step()
+    except ExitProgram:
+        pass
+    except EmulationError as exc:
+        fault = exc
+    run = RunResult(
+        exit_status=emulator.os.exit_status,
+        steps=emulator.steps,
+        cycles=emulator.cycles,
+        stdout=bytes(emulator.os.stdout),
+        fault=fault,
+    )
+    return run, tamper_cycles, watch
 
 
 def run_with_restore_attack(
@@ -38,34 +97,11 @@ def run_with_restore_attack(
     restore immediately); a large one models a lazy attacker whose
     window overlaps a verification-chain execution.
     """
-    os = OperatingSystem(debugger_attached=debugger_attached)
-    emulator = Emulator(image, os=os, max_steps=max_steps)
-    applied_at: Optional[int] = None
-    applied = False
-    reverted = False
-
-    fault = None
-    try:
-        while True:
-            if not applied and emulator.cpu.eip == trigger:
-                emulator.memory.write(patch.vaddr, patch.new)
-                applied = True
-                applied_at = emulator.steps
-            if applied and not reverted and emulator.steps - applied_at >= restore_after_steps:
-                emulator.memory.write(patch.vaddr, patch.old)
-                reverted = True
-            emulator.step()
-    except ExitProgram:
-        pass
-    except EmulationError as exc:
-        fault = exc
-    return RunResult(
-        exit_status=emulator.os.exit_status,
-        steps=emulator.steps,
-        cycles=emulator.cycles,
-        stdout=bytes(emulator.os.stdout),
-        fault=fault,
+    run, _, _ = _run_restore(
+        image, patch, trigger, restore_after_steps,
+        debugger_attached=debugger_attached, max_steps=max_steps,
     )
+    return run
 
 
 def evaluate_restore_attack(
@@ -76,9 +112,17 @@ def evaluate_restore_attack(
     goal: RunResult,
     attack_name: str = "code_restore",
     debugger_attached: bool = False,
+    rule: Optional[str] = None,
 ) -> AttackOutcome:
-    run = run_with_restore_attack(
+    run, tamper_cycles, watch = _run_restore(
         image, patch, trigger, restore_after_steps,
         debugger_attached=debugger_attached,
     )
-    return score_run(attack_name, run, goal)
+    return score_run(
+        attack_name,
+        run,
+        goal,
+        tamper_cycles=tamper_cycles,
+        corruption_cycles=watch.hit_cycles,
+        rule=rule,
+    )

@@ -14,13 +14,36 @@ Implemented on top of :meth:`repro.emu.memory.Memory.patch_code_view`.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional, Tuple
 
 from ..binary.image import BinaryImage
 from ..binary.patch import Patch
-from ..emu import Emulator, EmulationError, OperatingSystem, RunResult
+from ..emu import (
+    Emulator,
+    EmulationError,
+    OperatingSystem,
+    RunResult,
+    TamperWatch,
+)
 from ..emu.syscalls import ExitProgram
-from .harness import AttackOutcome, score_run
+from .harness import AttackOutcome, patch_ranges, score_run
+
+
+def _run_icache(
+    image: BinaryImage,
+    patches: Iterable[Patch],
+    debugger_attached: bool = False,
+    max_steps: int = 200_000_000,
+    engine: Optional[str] = None,
+) -> Tuple[RunResult, TamperWatch]:
+    patches = list(patches)
+    os = OperatingSystem(debugger_attached=debugger_attached)
+    emulator = Emulator(image, os=os, max_steps=max_steps, engine=engine)
+    for patch in patches:
+        emulator.memory.patch_code_view(patch.vaddr, patch.new)
+    watch = TamperWatch(patch_ranges(patches))
+    emulator.tamper_watch = watch
+    return emulator.run(), watch
 
 
 def run_with_icache_patches(
@@ -28,17 +51,21 @@ def run_with_icache_patches(
     patches: Iterable[Patch],
     debugger_attached: bool = False,
     max_steps: int = 200_000_000,
+    engine: Optional[str] = None,
 ) -> RunResult:
     """Run ``image`` with ``patches`` applied to the instruction view only.
 
     Data reads (and therefore any checksumming code) see the original
     bytes; fetch sees the tampered ones.
     """
-    os = OperatingSystem(debugger_attached=debugger_attached)
-    emulator = Emulator(image, os=os, max_steps=max_steps)
-    for patch in patches:
-        emulator.memory.patch_code_view(patch.vaddr, patch.new)
-    return emulator.run()
+    run, _ = _run_icache(
+        image,
+        patches,
+        debugger_attached=debugger_attached,
+        max_steps=max_steps,
+        engine=engine,
+    )
+    return run
 
 
 def evaluate_wurster_attack(
@@ -48,9 +75,25 @@ def evaluate_wurster_attack(
     attack_name: str = "wurster",
     debugger_attached: bool = False,
     max_steps: int = 200_000_000,
+    engine: Optional[str] = None,
+    rule: Optional[str] = None,
 ) -> AttackOutcome:
-    """Score the I-cache attack against ``goal`` behaviour."""
-    run = run_with_icache_patches(
-        image, patches, debugger_attached=debugger_attached, max_steps=max_steps
+    """Score the I-cache attack against ``goal`` behaviour.
+
+    The code view is patched before entry, so ``tamper_cycles`` is 0.
+    """
+    run, watch = _run_icache(
+        image,
+        patches,
+        debugger_attached=debugger_attached,
+        max_steps=max_steps,
+        engine=engine,
     )
-    return score_run(attack_name, run, goal)
+    return score_run(
+        attack_name,
+        run,
+        goal,
+        tamper_cycles=0,
+        corruption_cycles=watch.hit_cycles,
+        rule=rule,
+    )

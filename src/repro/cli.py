@@ -9,6 +9,10 @@ Commands:
 * ``analyze PROGRAM``           — Fig. 6 protectability for one program;
 * ``fig6``                      — the full Fig. 6 table;
 * ``attack PROGRAM``            — static + Wurster tamper demo;
+* ``coverage PROGRAM``          — protection-coverage map: annotated
+  disassembly (or ``--json`` artifact) of which protected bytes each
+  verification chain guards, single-point-of-failure bytes, and
+  uncovered regions;
 * ``protect-all``               — protect the whole corpus, optionally
   in parallel (``--jobs``) and cached on disk (``--cache-dir``);
 * ``stats ARTIFACT...``         — human dashboard over any exported
@@ -200,13 +204,54 @@ def _cmd_stats(args) -> int:
             print()
         try:
             kind, data = telemetry.load_artifact(path)
-        except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"{path}: ERROR: {exc}")
-            status = 1
+        except (OSError, ValueError, json.JSONDecodeError):
+            kinds = ", ".join(telemetry.ARTIFACT_KINDS)
+            print(
+                f"{path}: not a recognized telemetry artifact "
+                f"(expected one of: {kinds})",
+                file=sys.stderr,
+            )
+            status = 2
             continue
         print(f"{path} [{kind}]")
         print(telemetry.render_stats(kind, data))
     return status
+
+
+def _cmd_coverage(args) -> int:
+    from .coverage import build_coverage, render_coverage
+    from .telemetry.metrics import _ensure_parent_dir
+
+    program = build_program(args.program)
+    config = ProtectConfig(strategy=args.strategy, guard_chains=args.guard_chains)
+    protected = Parallax(config).protect(program)
+    coverage = build_coverage(
+        protected.image, protected.report, classify_rules=not args.no_rules
+    )
+    payload = None
+    if args.json or args.out:
+        payload = json.dumps(coverage.to_dict(), indent=2, sort_keys=True)
+    if args.out:
+        _ensure_parent_dir(args.out)
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+            fh.write("\n")
+    if args.json:
+        print(payload)
+    else:
+        print(render_coverage(
+            coverage,
+            max_functions=args.max_functions,
+            max_insns=args.max_insns,
+        ))
+    if coverage.protected_bytes and not coverage.covered_bytes:
+        # Chains were emitted but none of them overlap the protected
+        # bytes — the implicit-verification premise failed for this
+        # protection; surface it as a failure for scripting.
+        print("ERROR: no protected byte is covered by any chain",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_analyze(args) -> int:
@@ -327,6 +372,30 @@ def build_parser() -> argparse.ArgumentParser:
                            help="attach the (simulated) debugger")
     _add_telemetry_args(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_cov = sub.add_parser(
+        "coverage",
+        help="protection-coverage map: which bytes do the chains guard?",
+    )
+    p_cov.add_argument("program", choices=PROGRAM_NAMES)
+    p_cov.add_argument("--strategy", choices=STRATEGIES, default="cleartext")
+    p_cov.add_argument("--guard-chains", action="store_true",
+                       help="enable the §VI-C chain-guard network")
+    p_cov.add_argument("--json", action="store_true",
+                       help="print the coverage artifact as JSON")
+    p_cov.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the JSON artifact to FILE "
+                            "(parent directories are created)")
+    p_cov.add_argument("--no-rules", action="store_true",
+                       help="skip the Fig. 6 rewrite-rule classification "
+                            "of covering gadgets (faster)")
+    p_cov.add_argument("--max-functions", type=int, default=0, metavar="N",
+                       help="annotate at most N functions (0 = all)")
+    p_cov.add_argument("--max-insns", type=int, default=0, metavar="N",
+                       help="annotate at most N protected instructions "
+                            "per function (0 = all)")
+    _add_telemetry_args(p_cov)
+    p_cov.set_defaults(func=_cmd_coverage)
 
     p_analyze = sub.add_parser("analyze", help="Fig. 6 protectability for one program")
     p_analyze.add_argument("program", choices=PROGRAM_NAMES)

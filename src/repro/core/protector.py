@@ -23,7 +23,7 @@ implicitly verify the protected code bytes.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..binary import BinaryImage, Perm, Section
 from ..corpus.program import Program
@@ -58,7 +58,9 @@ _STUB_SLOT = 192  # bytes reserved per loader stub (guards + decryptor calls)
 
 #: Bump when protection output changes for identical inputs, so cached
 #: protected images from an older pipeline are never replayed.
-PROTECT_CACHE_VERSION = 1
+#: v2: reports carry protected_addresses and per-chain gadget_spans
+#: (the coverage observatory's inputs).
+PROTECT_CACHE_VERSION = 2
 
 
 class ProtectError(Exception):
@@ -242,6 +244,7 @@ class Parallax:
         if protect_addrs is None:
             protect_addrs = self._default_protect_targets(image)
         report.protected_instruction_count = len(protect_addrs)
+        report.protected_addresses = sorted(set(protect_addrs))
         target_bytes = set(protect_addrs)
         for gadget in existing:
             if any(addr in target_bytes for addr in gadget.span()):
@@ -271,6 +274,7 @@ class Parallax:
             image.add_section(Section(".parallaxrt", RT_BASE, rt_code, Perm.RX))
             rt_spans = {fname: RT_BASE + start for fname, (start, _end) in spans.items()}
 
+        span_map = catalog.span_map()
         for name in names:
             with tracer.span("emit_chain", function=name) as span:
                 record = self._emit_chain(
@@ -284,6 +288,7 @@ class Parallax:
                     rt_spans,
                     stub_addrs[name],
                     stub_specs,
+                    span_map,
                 )
                 span.set_attribute("words", record.word_count)
             report.chains.append(record)
@@ -388,6 +393,7 @@ class Parallax:
         rt_spans: Dict[str, int],
         stub_addr: int,
         stub_specs: Dict[str, dict],
+        span_map: Optional[Dict[int, int]] = None,
     ) -> ChainRecord:
         config = self.config
         strategy = config.strategy
@@ -395,7 +401,7 @@ class Parallax:
         if strategy == STRATEGY_LINEAR:
             return self._emit_linear(
                 name, chain, catalog, rng, chain_area, enc_area, ropdata,
-                rt_spans, stub_addr, stub_specs,
+                rt_spans, stub_addr, stub_specs, span_map,
             )
 
         resolved = chain.resolve(catalog)
@@ -444,6 +450,7 @@ class Parallax:
             gadget_addresses=resolved.gadget_addresses(),
             overlapping_used=overlapping,
             stub_addr=stub_addr,
+            gadget_spans=_spans_for(resolved.gadget_addresses(), span_map),
         )
 
     def _emit_linear(
@@ -458,6 +465,7 @@ class Parallax:
         rt_spans: Dict[str, int],
         stub_addr: int,
         stub_specs: Dict[str, dict],
+        span_map: Optional[Dict[int, int]] = None,
     ) -> ChainRecord:
         """§V-B probabilistic chains: N fixed-shape variants, an index
         table, and runtime regeneration by linear combination."""
@@ -508,7 +516,17 @@ class Parallax:
             overlapping_used=overlapping,
             stub_addr=stub_addr,
             variants=n,
+            gadget_spans=_spans_for(gadget_addresses, span_map),
         )
+
+
+def _spans_for(
+    addresses: Iterable[int], span_map: Optional[Dict[int, int]]
+) -> Dict[int, int]:
+    """Byte spans for the distinct gadgets a chain dispatches through."""
+    if not span_map:
+        return {}
+    return {a: span_map[a] for a in set(addresses) if a in span_map}
 
 
 def _frame_cell_of(chain: RopChain) -> int:

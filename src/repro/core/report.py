@@ -3,7 +3,25 @@
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def coalesce_addresses(addresses: Iterable[int]) -> List[Tuple[int, int]]:
+    """Sorted ``(start, length)`` runs of consecutive byte addresses."""
+    runs: List[Tuple[int, int]] = []
+    start = prev = None
+    for addr in sorted(set(addresses)):
+        if start is None:
+            start = prev = addr
+            continue
+        if addr == prev + 1:
+            prev = addr
+            continue
+        runs.append((start, prev - start + 1))
+        start = prev = addr
+    if start is not None:
+        runs.append((start, prev - start + 1))
+    return runs
 
 
 class ChainRecord:
@@ -17,6 +35,7 @@ class ChainRecord:
         "overlapping_used",
         "stub_addr",
         "variants",
+        "gadget_spans",
     )
 
     def __init__(
@@ -28,6 +47,7 @@ class ChainRecord:
         overlapping_used: int,
         stub_addr: int,
         variants: int = 1,
+        gadget_spans: Optional[Dict[int, int]] = None,
     ):
         self.function = function
         self.chain_addr = chain_addr
@@ -36,6 +56,17 @@ class ChainRecord:
         self.overlapping_used = overlapping_used
         self.stub_addr = stub_addr
         self.variants = variants
+        #: ``{gadget address: end}`` for the distinct gadgets this chain
+        #: dispatches through — the byte ranges the chain implicitly
+        #: verifies (fed to the coverage observatory).
+        self.gadget_spans = dict(gadget_spans or {})
+
+    def guarded_bytes(self) -> List[int]:
+        """Every byte address covered by one of this chain's gadgets."""
+        out: List[int] = []
+        for address, end in self.gadget_spans.items():
+            out.extend(range(address, end))
+        return out
 
     def to_dict(self) -> dict:
         return {
@@ -47,6 +78,9 @@ class ChainRecord:
             "overlapping_used": self.overlapping_used,
             "stub_addr": self.stub_addr,
             "variants": self.variants,
+            "gadget_spans": [
+                [address, end] for address, end in sorted(self.gadget_spans.items())
+            ],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -71,6 +105,9 @@ class ProtectionReport:
         self.inserted_gadgets = 0
         self.preferred_gadgets = 0
         self.protected_instruction_count = 0
+        #: sorted byte addresses the protector was asked to guard (the
+        #: paper's instructions-to-protect, expanded to bytes).
+        self.protected_addresses: List[int] = []
         self.notes: List[str] = []
 
     def add_note(self, note: str) -> None:
@@ -101,6 +138,10 @@ class ProtectionReport:
             "inserted_gadgets": self.inserted_gadgets,
             "preferred_gadgets": self.preferred_gadgets,
             "protected_instruction_count": self.protected_instruction_count,
+            "protected_ranges": [
+                [start, length]
+                for start, length in coalesce_addresses(self.protected_addresses)
+            ],
             "chains": [record.to_dict() for record in self.chains],
             "notes": list(self.notes),
         }

@@ -1,0 +1,21 @@
+"""The integrity observatory: who guards which byte, and how fast.
+
+Static half: :class:`CoverageMap` joins a :class:`ProtectionReport`'s
+per-chain gadget spans against the protected byte set to answer the
+question the paper's security argument rests on — *which protected
+bytes are actually covered by which verification chain* — including
+per-function coverage fractions, overlap density and single-point-of-
+failure bytes.  Dynamic half: the attack harness stamps tamper /
+corruption / detection cycles (see :mod:`repro.attacks.harness`), whose
+aggregates the coverage artifact sits alongside in ``repro stats``.
+"""
+
+from .map import CoverageMap, FunctionCoverage, build_coverage
+from .render import render_coverage
+
+__all__ = [
+    "CoverageMap",
+    "FunctionCoverage",
+    "build_coverage",
+    "render_coverage",
+]

@@ -1,0 +1,278 @@
+"""Byte-granular protection-coverage maps.
+
+A protected byte is *covered* when it falls inside the span of a gadget
+some verification chain dispatches through — tampering it corrupts that
+gadget and the chain malfunctions (§III).  A byte covered by exactly
+one chain is a *single point of failure* (SPOF): defeat that one chain
+and the byte is unguarded.  Bytes the protector was asked to guard but
+no chain's gadgets overlap are *uncovered* — the residual attack
+surface the paper's §VII-A protectability limits predict.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..binary.image import BinaryImage
+from ..core.report import ProtectionReport, coalesce_addresses
+
+#: artifact discriminator consumed by ``telemetry.load_artifact``
+ARTIFACT_TYPE = "coverage"
+
+
+class FunctionCoverage:
+    """Coverage statistics for one function symbol."""
+
+    __slots__ = (
+        "name",
+        "vaddr",
+        "size",
+        "protected_bytes",
+        "covered_bytes",
+        "spof_bytes",
+        "max_depth",
+    )
+
+    def __init__(self, name: str, vaddr: int, size: int):
+        self.name = name
+        self.vaddr = vaddr
+        self.size = size
+        self.protected_bytes = 0
+        self.covered_bytes = 0
+        self.spof_bytes = 0
+        self.max_depth = 0
+
+    @property
+    def coverage_fraction(self) -> float:
+        if not self.protected_bytes:
+            return 0.0
+        return self.covered_bytes / self.protected_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "vaddr": self.vaddr,
+            "size": self.size,
+            "protected_bytes": self.protected_bytes,
+            "covered_bytes": self.covered_bytes,
+            "coverage_fraction": round(self.coverage_fraction, 6),
+            "spof_bytes": self.spof_bytes,
+            "max_depth": self.max_depth,
+        }
+
+
+class CoverageMap:
+    """The static half of the integrity observatory.
+
+    Attributes:
+        program: protected program name.
+        strategy: protection strategy the report came from.
+        chain_names: chain identifiers, index-aligned with the chain
+            bitsets in :attr:`chains_at`.
+        depth: ``{protected byte: number of chains guarding it}``
+            (0 entries are omitted — absence means uncovered).
+        chains_at: ``{protected byte: sorted tuple of chain indices}``.
+        rule_of: optional ``{gadget address: rewrite-rule name}`` used
+            for the per-rule guarded-byte breakdown.
+    """
+
+    def __init__(
+        self,
+        image: BinaryImage,
+        report: ProtectionReport,
+        rule_of: Optional[Dict[int, str]] = None,
+    ):
+        self.program = report.program
+        self.strategy = report.strategy
+        self.image = image
+        self.report = report
+        self.rule_of = dict(rule_of or {})
+
+        self.protected: List[int] = sorted(set(report.protected_addresses))
+        protected_set = set(self.protected)
+
+        self.chain_names: List[str] = [rec.function for rec in report.chains]
+        self.depth: Dict[int, int] = {}
+        self.chains_at: Dict[int, Tuple[int, ...]] = {}
+        #: ``{rule name: guarded protected-byte count}``
+        self.rule_breakdown: Dict[str, int] = {}
+
+        builder: Dict[int, List[int]] = {}
+        rule_bytes: Dict[str, set] = {}
+        for index, record in enumerate(report.chains):
+            for address, end in record.gadget_spans.items():
+                rule = self.rule_of.get(address)
+                for byte in range(address, end):
+                    if byte not in protected_set:
+                        continue
+                    chains = builder.setdefault(byte, [])
+                    if index not in chains:
+                        chains.append(index)
+                    if rule is not None:
+                        rule_bytes.setdefault(rule, set()).add(byte)
+        self.rule_breakdown = {
+            rule: len(bytes_) for rule, bytes_ in rule_bytes.items()
+        }
+        for byte, chains in builder.items():
+            chains.sort()
+            self.chains_at[byte] = tuple(chains)
+            self.depth[byte] = len(chains)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def protected_bytes(self) -> int:
+        return len(self.protected)
+
+    @property
+    def covered_bytes(self) -> int:
+        return len(self.depth)
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of protected bytes guarded by at least one chain."""
+        if not self.protected:
+            return 0.0
+        return self.covered_bytes / self.protected_bytes
+
+    @property
+    def overlap_density(self) -> float:
+        """Mean number of chains guarding each covered byte."""
+        if not self.depth:
+            return 0.0
+        return sum(self.depth.values()) / len(self.depth)
+
+    def spof_addresses(self) -> List[int]:
+        """Protected bytes guarded by exactly one chain."""
+        return sorted(b for b, d in self.depth.items() if d == 1)
+
+    def uncovered_addresses(self) -> List[int]:
+        """Protected bytes no chain's gadgets overlap."""
+        return sorted(b for b in self.protected if b not in self.depth)
+
+    def spof_regions(self) -> List[Tuple[int, int]]:
+        return coalesce_addresses(self.spof_addresses())
+
+    def uncovered_regions(self) -> List[Tuple[int, int]]:
+        return coalesce_addresses(self.uncovered_addresses())
+
+    def depth_at(self, address: int) -> int:
+        return self.depth.get(address, 0)
+
+    # ------------------------------------------------------------------
+    # Per-function view
+    # ------------------------------------------------------------------
+
+    def functions(self) -> List[FunctionCoverage]:
+        """Coverage per function symbol, address order; functions with
+        no protected bytes are omitted."""
+        out: List[FunctionCoverage] = []
+        for sym in self.image.symbols.functions():
+            fc = FunctionCoverage(sym.name, sym.vaddr, sym.size)
+            for byte in range(sym.vaddr, sym.end):
+                if byte not in self._protected_set:
+                    continue
+                fc.protected_bytes += 1
+                d = self.depth.get(byte, 0)
+                if d:
+                    fc.covered_bytes += 1
+                    fc.max_depth = max(fc.max_depth, d)
+                if d == 1:
+                    fc.spof_bytes += 1
+            if fc.protected_bytes:
+                out.append(fc)
+        return out
+
+    @property
+    def _protected_set(self) -> set:
+        cached = getattr(self, "_protected_set_cache", None)
+        if cached is None:
+            cached = set(self.protected)
+            self._protected_set_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def byte_map(self) -> List[List]:
+        """Run-length encoded map: ``[start, length, depth, chains]``
+        rows over the protected byte range, where ``chains`` lists
+        indices into :attr:`chain_names`.  Adjacent bytes with the same
+        guarding-chain set fold into one row, so the encoding is exact
+        yet compact."""
+        rows: List[List] = []
+        run_start = None
+        run_prev = None
+        run_chains: Tuple[int, ...] = ()
+        for byte in self.protected:
+            chains = self.chains_at.get(byte, ())
+            if run_start is not None and byte == run_prev + 1 and chains == run_chains:
+                run_prev = byte
+                continue
+            if run_start is not None:
+                rows.append(
+                    [run_start, run_prev - run_start + 1,
+                     len(run_chains), list(run_chains)]
+                )
+            run_start = run_prev = byte
+            run_chains = chains
+        if run_start is not None:
+            rows.append(
+                [run_start, run_prev - run_start + 1,
+                 len(run_chains), list(run_chains)]
+            )
+        return rows
+
+    def to_dict(self) -> dict:
+        spof = self.spof_addresses()
+        return {
+            "type": ARTIFACT_TYPE,
+            "program": self.program,
+            "strategy": self.strategy,
+            "chains": self.chain_names,
+            "protected_bytes": self.protected_bytes,
+            "covered_bytes": self.covered_bytes,
+            "coverage_fraction": round(self.coverage_fraction, 6),
+            "overlap_density": round(self.overlap_density, 6),
+            "spof_bytes": len(spof),
+            "spof_regions": [list(r) for r in self.spof_regions()],
+            "uncovered_bytes": len(self.protected) - self.covered_bytes,
+            "uncovered_regions": [list(r) for r in self.uncovered_regions()],
+            "rule_breakdown": dict(sorted(self.rule_breakdown.items())),
+            "functions": [fc.to_dict() for fc in self.functions()],
+            "byte_map": self.byte_map(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CoverageMap {self.program} {self.covered_bytes}/"
+            f"{self.protected_bytes} bytes covered "
+            f"({100 * self.coverage_fraction:.1f}%)>"
+        )
+
+
+def build_coverage(
+    image: BinaryImage,
+    report: ProtectionReport,
+    classify_rules: bool = True,
+) -> CoverageMap:
+    """Build the coverage map for a protected image.
+
+    ``classify_rules`` additionally runs the rewrite engine over the
+    *protected* image to attribute guarded bytes to the §IV-B rule
+    family producing each gadget (skip it when only the coverage
+    fractions matter — the analysis pass is the expensive part).
+    """
+    rule_of: Optional[Dict[int, str]] = None
+    if classify_rules:
+        from ..rewrite.engine import RewriteEngine
+
+        rule_of = RewriteEngine().classify_gadgets(image)
+    return CoverageMap(image, report, rule_of=rule_of)

@@ -13,6 +13,7 @@ from .emulator import (
     Emulator,
     EmulatorConfig,
     RunResult,
+    TamperWatch,
     run_image,
 )
 from .errors import (
@@ -39,7 +40,8 @@ from .syscalls import (
 )
 
 __all__ = [
-    "CPUState", "Emulator", "EmulatorConfig", "RunResult", "run_image",
+    "CPUState", "Emulator", "EmulatorConfig", "RunResult", "TamperWatch",
+    "run_image",
     "CALL_SENTINEL", "CYCLE_COSTS", "Memory", "PAGE_SIZE",
     "BlockEngine", "DISPATCH",
     "ENGINES", "ENGINE_BLOCK", "ENGINE_STEP", "DEFAULT_ENGINE",

@@ -264,6 +264,17 @@ class BlockEngine:
                     # engine.
                     emu.step()
                     continue
+                watch = emu.tamper_watch
+                if (
+                    watch is not None
+                    and watch.hit_cycles is None
+                    and watch.overlaps(b.start, b.end)
+                ):
+                    # An unhit TamperWatch overlaps this block: single-
+                    # step so the stamp comes from Emulator.step's
+                    # accounting, identical to the step engine.
+                    emu.step()
+                    continue
                 if hot is not None:
                     hot.record_block(b)
                 if b.fn(emu, cpu, mem):
@@ -295,7 +306,16 @@ class BlockEngine:
         target = emu.steps + n
         while emu.steps < target:
             b = self._lookup(cpu.eip)
-            if b is None or emu.steps + b.n > min(target, emu.max_steps):
+            watch = emu.tamper_watch
+            if (
+                b is None
+                or emu.steps + b.n > min(target, emu.max_steps)
+                or (
+                    watch is not None
+                    and watch.hit_cycles is None
+                    and watch.overlaps(b.start, b.end)
+                )
+            ):
                 emu.step()
                 continue
             self.hits += 1

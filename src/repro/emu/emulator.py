@@ -88,6 +88,42 @@ class EmulatorConfig:
         self.stack_top = stack_top
 
 
+class TamperWatch:
+    """Cycle-stamps the first fetch that executes tampered bytes.
+
+    The attack harness installs one over the byte ranges a tamper
+    modified; the emulator stamps step/cycle counters the first time an
+    executed instruction overlaps any watched range — the moment the
+    corruption becomes architecturally visible (a gadget dispatching
+    through modified bytes).  Both engines stamp identically: the step
+    engine checks every instruction, and the block engine single-steps
+    through any superblock overlapping an unhit watch, so the stamp
+    always comes from :meth:`Emulator.step`'s accounting.
+
+    A watch over ranges no execution reaches simply never fires —
+    ``hit`` stays ``False`` (e.g. a tamper of pure data such as
+    encrypted chain words).
+    """
+
+    __slots__ = ("ranges", "hit_steps", "hit_cycles", "hit_eip")
+
+    def __init__(self, ranges):
+        #: normalized, non-empty ``(start, end)`` half-open ranges
+        self.ranges = tuple(
+            (start, end) for start, end in ranges if end > start
+        )
+        self.hit_steps: Optional[int] = None
+        self.hit_cycles: Optional[int] = None
+        self.hit_eip: Optional[int] = None
+
+    @property
+    def hit(self) -> bool:
+        return self.hit_cycles is not None
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return any(s < end and start < e for s, e in self.ranges)
+
+
 class RunResult:
     """Outcome of a completed emulation run."""
 
@@ -170,6 +206,9 @@ class Emulator:
         #: one identity check.
         self.hotspots = None
         self._hotspots_auto = False
+        #: optional TamperWatch stamping the first execution of tampered
+        #: bytes; ``None`` keeps the hot path to one identity check.
+        self.tamper_watch: Optional[TamperWatch] = None
 
         self.memory.map_zero(stack_top - _STACK_SIZE_DEFAULT, _STACK_SIZE_DEFAULT)
         self.cpu.esp = stack_top - 64
@@ -329,6 +368,15 @@ class Emulator:
         self.cycles += cost_of(insn)
         if self.hotspots is not None:
             self.hotspots.record_step(insn.mnemonic)
+        watch = self.tamper_watch
+        if (
+            watch is not None
+            and watch.hit_cycles is None
+            and watch.overlaps(eip, eip + insn.length)
+        ):
+            watch.hit_steps = self.steps
+            watch.hit_cycles = self.cycles
+            watch.hit_eip = eip
         if self.trace_hook is not None:
             self.trace_hook(eip, insn)
         self.cpu.eip = (eip + insn.length) & MASK32

@@ -88,6 +88,20 @@ class GadgetCatalog:
                 regs.append(Register.by_name(key[1]))
         return regs
 
+    def span_map(self) -> Dict[int, int]:
+        """``{address: end}`` byte spans of every catalogued gadget.
+
+        The coverage observatory joins this against a chain's gadget
+        addresses to find which code bytes each chain implicitly
+        verifies; duplicate addresses keep the longest span.
+        """
+        spans: Dict[int, int] = {}
+        for gadget in self._all:
+            end = spans.get(gadget.address)
+            if end is None or gadget.end > end:
+                spans[gadget.address] = gadget.end
+        return spans
+
     def kinds(self) -> List[GadgetKind]:
         out = []
         for gadgets in self._by_kind.values():

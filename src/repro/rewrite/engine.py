@@ -14,7 +14,13 @@ from typing import Dict, List, Optional
 from ..binary.image import BinaryImage
 from ..gadgets.catalog import GadgetCatalog
 from ..telemetry import get_metrics, get_recorder, get_tracer
-from .report import ProtectabilityReport, RULE_IMM, RULE_JUMP
+from .report import (
+    ProtectabilityReport,
+    RULE_FAR,
+    RULE_IMM,
+    RULE_JUMP,
+    RULE_NEAR,
+)
 from .rules import (
     ExistingGadgetRule,
     FarReturnRule,
@@ -108,6 +114,28 @@ class RewriteEngine:
             chosen.append(candidate)
             taken_bytes.update(insn_span)
         return chosen
+
+    def classify_gadgets(self, image: BinaryImage) -> Dict[int, str]:
+        """Map gadget addresses to the §IV-B rule family that yields them.
+
+        Existing gadgets (near/far returns) are classified by what they
+        are; candidate gadgets by the modification rule that would
+        create them.  The coverage observatory uses this to attribute
+        guarded bytes to rewrite rules.  When several rules can produce
+        a gadget at the same address the Fig. 6 ordering (near, far,
+        immediate, jump) wins — the cheapest rule is the attribution.
+        """
+        result = self.analyze(image)
+        classes: Dict[int, str] = {}
+        for rule_name, gadgets in (
+            (RULE_JUMP, [c.gadget for c in result.jump_candidates]),
+            (RULE_IMM, [c.gadget for c in result.immediate_candidates]),
+            (RULE_FAR, result.far_gadgets),
+            (RULE_NEAR, result.existing_gadgets),
+        ):
+            for gadget in gadgets:
+                classes[gadget.address] = rule_name
+        return classes
 
     def protect_instructions(
         self, image: BinaryImage, addresses: List[int]

@@ -29,6 +29,7 @@ from typing import Optional
 
 from .chains import ChainExecutionTracer, ChainStep, trace_chain_run
 from .export import (
+    ARTIFACT_KINDS,
     chrome_trace,
     load_artifact,
     prometheus_text,
@@ -55,7 +56,7 @@ __all__ = [
     "ChainStep", "ChainExecutionTracer", "trace_chain_run",
     "chrome_trace", "write_chrome_trace",
     "prometheus_text", "write_prometheus",
-    "load_artifact", "render_stats",
+    "ARTIFACT_KINDS", "load_artifact", "render_stats",
     "get_metrics", "set_metrics", "get_tracer", "set_tracer",
     "configure", "disable", "telemetry_session",
 ]

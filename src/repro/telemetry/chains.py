@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, Set
 
+from .metrics import _ensure_parent_dir
 from .recorder import get_recorder
 
 __all__ = ["ChainStep", "ChainExecutionTracer", "trace_chain_run"]
@@ -25,14 +26,24 @@ __all__ = ["ChainStep", "ChainExecutionTracer", "trace_chain_run"]
 class ChainStep:
     """One recorded gadget entry during chain execution."""
 
-    __slots__ = ("seq", "address", "esp", "eip", "preferred", "mnemonics")
+    __slots__ = ("seq", "address", "esp", "eip", "preferred", "cycles", "mnemonics")
 
-    def __init__(self, seq: int, address: int, esp: int, eip: int, preferred: bool):
+    def __init__(
+        self,
+        seq: int,
+        address: int,
+        esp: int,
+        eip: int,
+        preferred: bool,
+        cycles: Optional[int] = None,
+    ):
         self.seq = seq
         self.address = address
         self.esp = esp
         self.eip = eip
         self.preferred = preferred
+        #: emulator cycle counter at gadget entry (detection-latency axis)
+        self.cycles = cycles
         self.mnemonics: List[str] = []
 
     def to_dict(self) -> dict:
@@ -43,6 +54,7 @@ class ChainStep:
             "esp": self.esp,
             "eip": self.eip,
             "preferred": self.preferred,
+            "cycles": self.cycles,
             "mnemonics": list(self.mnemonics),
         }
 
@@ -121,13 +133,16 @@ class ChainExecutionTracer:
     def on_step(self, eip: int, insn) -> None:
         self.instructions_seen += 1
         if eip in self.gadget_set:
-            esp = self._emulator.cpu.esp if self._emulator is not None else 0
+            emulator = self._emulator
+            esp = emulator.cpu.esp if emulator is not None else 0
+            cycles = emulator.cycles if emulator is not None else None
             step = ChainStep(
                 self._seq,
                 address=eip,
                 esp=esp,
                 eip=eip,
                 preferred=eip in self.preferred,
+                cycles=cycles,
             )
             self._seq += 1
             self._current = step
@@ -189,6 +204,19 @@ class ChainExecutionTracer:
                 return index
         return None
 
+    def divergence_cycles(self, expected: Iterable[int]) -> Optional[int]:
+        """Cycle stamp of the first divergent gadget dispatch.
+
+        This is the earliest point the chain's behaviour observably left
+        the expected gadget sequence — the tightest upper bound on when
+        tampering corrupted the dispatch.  ``None`` when the executed
+        prefix matches ``expected``.
+        """
+        index = self.divergence(expected)
+        if index is None:
+            return None
+        return self.steps[index].cycles
+
     def summary(self) -> dict:
         return {
             "type": "chain_trace",
@@ -208,6 +236,7 @@ class ChainExecutionTracer:
         return events
 
     def write_jsonl(self, path: str) -> None:
+        _ensure_parent_dir(path)
         with open(path, "w") as fh:
             for event in self.to_events():
                 fh.write(json.dumps(event, sort_keys=True))

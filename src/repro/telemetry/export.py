@@ -21,7 +21,7 @@ import os
 import re
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, _ensure_parent_dir
 from .tracing import Tracer
 
 __all__ = [
@@ -31,7 +31,12 @@ __all__ = [
     "write_prometheus",
     "load_artifact",
     "render_stats",
+    "ARTIFACT_KINDS",
 ]
+
+#: Artifact kinds :func:`load_artifact` can sniff — the CLI names these
+#: when a path holds none of them.
+ARTIFACT_KINDS = ("metrics", "trace", "journal", "chrome", "coverage")
 
 
 # ----------------------------------------------------------------------
@@ -85,6 +90,7 @@ def chrome_trace(
 
 def write_chrome_trace(tracer: Tracer, path: str, **kwargs) -> None:
     payload = chrome_trace(tracer.to_events(), **kwargs)
+    _ensure_parent_dir(path)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
@@ -153,6 +159,7 @@ def prometheus_text(registry) -> str:
 
 
 def write_prometheus(registry, path: str) -> None:
+    _ensure_parent_dir(path)
     with open(path, "w") as fh:
         fh.write(prometheus_text(registry))
 
@@ -166,7 +173,8 @@ def load_artifact(path: str) -> Tuple[str, Any]:
     """Load any exported telemetry artifact; returns ``(kind, data)``.
 
     Kinds: ``metrics`` (samples dict), ``trace`` (span dicts),
-    ``journal`` (event dicts), ``chrome`` (trace-event payload).
+    ``journal`` (event dicts), ``chrome`` (trace-event payload),
+    ``coverage`` (``repro coverage --json`` output).
     """
     with open(path) as fh:
         text = fh.read()
@@ -181,6 +189,8 @@ def load_artifact(path: str) -> Tuple[str, Any]:
         if isinstance(payload, dict):
             if "traceEvents" in payload:
                 return "chrome", payload
+            if payload.get("type") == "coverage":
+                return "coverage", payload
             if all(isinstance(v, dict) and "type" in v for v in payload.values()):
                 return "metrics", payload
     # JSONL: one object per line
@@ -206,6 +216,39 @@ def load_artifact(path: str) -> Tuple[str, Any]:
 
 def _counter(samples: Dict[str, dict], name: str) -> float:
     return samples.get(name, {}).get("value", 0)
+
+
+def _sample_quantile(sample: dict, q: float) -> float:
+    """Quantile estimate from an exported histogram sample dict —
+    mirrors :meth:`repro.telemetry.metrics.Histogram.quantile`."""
+    count = sample.get("count", 0)
+    if not count:
+        return 0.0
+    lo = sample.get("min")
+    hi = sample.get("max")
+    if q == 0.0:
+        return lo if lo is not None else 0.0
+    target = q * count
+    cumulative = 0
+    previous_bound = lo if lo is not None else 0.0
+    for bucket in sample.get("buckets", []):
+        bound = bucket["le"]
+        in_bucket = bucket["count"]
+        if bound == "+Inf":
+            break
+        bound = float(bound)
+        if cumulative + in_bucket >= target:
+            lower = min(previous_bound, bound)
+            fraction = (target - cumulative) / in_bucket
+            estimate = lower + (bound - lower) * fraction
+            if lo is not None:
+                estimate = max(estimate, lo)
+            if hi is not None:
+                estimate = min(estimate, hi)
+            return estimate
+        cumulative += in_bucket
+        previous_bound = bound
+    return hi if hi is not None else previous_bound
 
 
 def _fmt_rate(num: float, den: float) -> str:
@@ -269,6 +312,37 @@ def _stats_metrics(samples: Dict[str, dict]) -> List[str]:
                 f"  chain runs traced          {int(traced):>12,}"
                 f"   (corruptions attributed {int(attributed):,})"
             )
+
+    # -- detection latency --------------------------------------------
+    latency_rows = []
+    for name in ("attacks.cycles_to_corruption", "attacks.cycles_to_detection"):
+        sample = samples.get(name)
+        if sample is not None and sample.get("type") == "histogram":
+            latency_rows.append((name.rsplit(".", 1)[-1], sample))
+    cells = sorted(
+        (name[len("attacks.cycles_to_detection."):], sample)
+        for name, sample in samples.items()
+        if name.startswith("attacks.cycles_to_detection.")
+        and sample.get("type") == "histogram"
+    )
+    if latency_rows or cells:
+        lines.append("detection latency (emulated cycles from tamper)")
+        for label, sample in latency_rows:
+            lines.append(
+                f"  {label:<22} n={sample['count']:<5}"
+                f" mean={sample['mean']:>12,.0f}"
+                f" p50={_sample_quantile(sample, 0.5):>12,.0f}"
+                f" p90={_sample_quantile(sample, 0.9):>12,.0f}"
+                f" max={sample['max'] or 0:>12,.0f}"
+            )
+        if cells:
+            lines.append("  per attack x rule cell")
+            for cell, sample in cells:
+                lines.append(
+                    f"    {cell:<28} n={sample['count']:<4}"
+                    f" mean={sample['mean']:>12,.0f}"
+                    f" max={sample['max'] or 0:>12,.0f}"
+                )
 
     # -- hottest mnemonics --------------------------------------------
     hot = sorted(
@@ -365,6 +439,38 @@ def _stats_chrome(payload: dict) -> List[str]:
     return [f"chrome trace: {len(events)} complete events"] + _stats_spans(spans)[1:]
 
 
+def _stats_coverage(payload: dict) -> List[str]:
+    lines = [
+        f"coverage: {payload.get('program', '?')} "
+        f"[{payload.get('strategy', '?')}]",
+        f"  protected bytes   {payload.get('protected_bytes', 0):>12,}",
+        f"  covered bytes     {payload.get('covered_bytes', 0):>12,}"
+        f"   ({payload.get('coverage_fraction', 0.0):.1%})",
+        f"  overlap density   {payload.get('overlap_density', 0.0):>12.2f}"
+        f"   chains/byte",
+        f"  SPOF bytes        {payload.get('spof_bytes', 0):>12,}",
+        f"  uncovered bytes   {payload.get('uncovered_bytes', 0):>12,}"
+        f"   in {len(payload.get('uncovered_regions', []))} region(s)",
+    ]
+    breakdown = payload.get("rule_breakdown") or {}
+    for rule in sorted(breakdown):
+        lines.append(f"    via {rule:<20} {breakdown[rule]:>8,} bytes")
+    functions = payload.get("functions") or []
+    if functions:
+        ranked = sorted(functions, key=lambda f: f["coverage_fraction"])
+        lines.append(
+            f"  {len(functions)} function(s) with protected bytes;"
+            f" least covered:"
+        )
+        for fc in ranked[:5]:
+            lines.append(
+                f"    {fc['name']:<20} {fc['coverage_fraction']:>7.1%}"
+                f"   ({fc['covered_bytes']}/{fc['protected_bytes']} bytes,"
+                f" {fc['spof_bytes']} SPOF)"
+            )
+    return lines
+
+
 def render_stats(kind: str, data) -> str:
     """Human dashboard for one loaded artifact (see :func:`load_artifact`)."""
     if kind == "metrics":
@@ -375,6 +481,8 @@ def render_stats(kind: str, data) -> str:
         lines = _stats_journal(data)
     elif kind == "chrome":
         lines = _stats_chrome(data)
+    elif kind == "coverage":
+        lines = _stats_coverage(data)
     else:
         raise ValueError(f"unknown artifact kind {kind!r}")
     return "\n".join(lines)

@@ -36,6 +36,7 @@ __all__ = [
     "NULL_HISTOGRAM",
     "NULL_TIMER",
     "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_CYCLE_BUCKETS",
 ]
 
 #: Default histogram buckets for durations in seconds (1µs .. 30s).
@@ -47,6 +48,22 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
 )
+
+#: Default buckets for emulated-cycle latencies (detection latency
+#: spans from "next gadget dispatch" to "most of the run").
+DEFAULT_CYCLE_BUCKETS: Tuple[float, ...] = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+)
+
+
+def _ensure_parent_dir(path: str) -> None:
+    """Create the parent directory of ``path`` if it is missing, so a
+    long run never fails at export time over an absent output dir."""
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
 
 class Counter:
@@ -469,6 +486,7 @@ class MetricsRegistry:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def write_json(self, path: str) -> None:
+        _ensure_parent_dir(path)
         with open(path, "w") as fh:
             fh.write(self.to_json())
             fh.write("\n")
@@ -478,6 +496,7 @@ class MetricsRegistry:
             yield self._instruments[name].to_dict()
 
     def write_jsonl(self, path: str) -> None:
+        _ensure_parent_dir(path)
         with open(path, "w") as fh:
             for sample in self.iter_samples():
                 fh.write(json.dumps(sample, sort_keys=True))

@@ -44,6 +44,8 @@ import time
 from collections import deque
 from typing import Any, Dict, Iterator, List, Optional
 
+from .metrics import _ensure_parent_dir
+
 __all__ = ["FlightRecorder", "get_recorder", "set_recorder"]
 
 
@@ -138,6 +140,7 @@ class FlightRecorder:
         fh.write("\n")
 
     def write_jsonl(self, path: str) -> None:
+        _ensure_parent_dir(path)
         with open(path, "w") as fh:
             self.dump(fh)
 

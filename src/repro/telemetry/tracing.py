@@ -17,6 +17,8 @@ import json
 import time
 from typing import Any, Dict, List, Optional
 
+from .metrics import _ensure_parent_dir
+
 __all__ = ["Span", "Tracer", "NULL_SPAN"]
 
 
@@ -245,6 +247,7 @@ class Tracer:
         return [span.to_dict() for span in self.spans]
 
     def write_jsonl(self, path: str) -> None:
+        _ensure_parent_dir(path)
         with open(path, "w") as fh:
             for event in self.to_events():
                 fh.write(json.dumps(event, sort_keys=True))

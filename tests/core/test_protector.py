@@ -35,6 +35,25 @@ def test_report_contents(protected_wget_cleartext):
     assert "digest_wget" in report.summary()
 
 
+def test_report_carries_coverage_inputs(protected_wget_cleartext):
+    """The report must record what was protected and which bytes each
+    chain's gadgets span — the inputs the coverage map is built from."""
+    report = protected_wget_cleartext.report
+    assert report.protected_addresses
+    assert report.protected_addresses == sorted(set(report.protected_addresses))
+    record = report.chains[0]
+    assert record.gadget_spans
+    assert set(record.gadget_spans) <= set(record.gadget_addresses)
+    for address, end in record.gadget_spans.items():
+        assert end > address
+    assert set(record.guarded_bytes()) == {
+        b for a, e in record.gadget_spans.items() for b in range(a, e)
+    }
+    payload = report.to_dict()
+    assert payload["protected_ranges"]
+    assert payload["chains"][0]["gadget_spans"]
+
+
 def test_chain_prefers_overlapping_gadgets(protected_wget_cleartext):
     record = protected_wget_cleartext.report.chains[0]
     assert record.overlapping_used > 0

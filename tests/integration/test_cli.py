@@ -153,12 +153,82 @@ def test_stats_dashboard_over_metrics(tmp_path, capsys, cli_small_wget):
     assert "run totals" in out
 
 
-def test_stats_reports_unreadable_artifacts(tmp_path, capsys):
+def test_stats_rejects_unrecognized_artifacts_with_exit_2(tmp_path, capsys):
     bad = tmp_path / "bad.json"
     bad.write_text("")
-    assert main(["stats", str(bad), str(tmp_path / "missing.json")]) == 1
+    missing = tmp_path / "missing.json"
+    assert main(["stats", str(bad), str(missing)]) == 2
+    err = capsys.readouterr().err
+    # one line per artifact, naming the path and the expected kinds
+    lines = [l for l in err.splitlines() if "not a recognized" in l]
+    assert len(lines) == 2
+    assert str(bad) in lines[0] and str(missing) in lines[1]
+    for line in lines:
+        for kind in ("metrics", "trace", "journal", "chrome", "coverage"):
+            assert kind in line
+
+
+def test_stats_good_artifact_still_renders_after_bad_one(
+    tmp_path, capsys, cli_small_wget
+):
+    metrics_path = tmp_path / "m.json"
+    assert main(["protect", "wget", "--metrics", str(metrics_path)]) == 0
+    capsys.readouterr()
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json at all")
+    assert main(["stats", str(bad), str(metrics_path)]) == 2
+    captured = capsys.readouterr()
+    assert f"{metrics_path} [metrics]" in captured.out
+    assert str(bad) in captured.err
+
+
+def test_coverage_human_output(capsys, cli_small_wget):
+    assert main(["coverage", "wget"]) == 0
     out = capsys.readouterr().out
-    assert out.count("ERROR") == 2
+    assert "Coverage map: wget" in out
+    assert "protected bytes" in out
+    assert "covered bytes" in out
+    assert "!SPOF" in out or "!UNCOVERED" in out
+    assert "digest_wget" in out
+
+
+def test_coverage_json_artifact_round_trips_through_stats(
+    tmp_path, capsys, cli_small_wget
+):
+    out_path = tmp_path / "nested" / "dirs" / "coverage.json"
+    assert main(["coverage", "wget", "--json", "--out", str(out_path)]) == 0
+    stdout_payload = json.loads(capsys.readouterr().out)
+    file_payload = json.loads(out_path.read_text())  # parent dirs created
+    assert stdout_payload == file_payload
+    assert file_payload["type"] == "coverage"
+    assert file_payload["program"] == "wget"
+    assert file_payload["covered_bytes"] > 0
+    assert 0.0 < file_payload["coverage_fraction"] <= 1.0
+    assert file_payload["byte_map"]
+
+    assert main(["stats", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"{out_path} [coverage]" in out
+    assert "protected bytes" in out
+
+
+def test_export_flags_create_parent_directories(tmp_path, capsys, cli_small_wget):
+    base = tmp_path / "deep"
+    metrics_path = base / "a" / "m.json"
+    journal_path = base / "b" / "j.jsonl"
+    chrome_path = base / "c" / "t.json"
+    prom_path = base / "d" / "m.prom"
+    trace_path = base / "e" / "t.jsonl"
+    assert main([
+        "protect", "wget",
+        "--metrics", str(metrics_path), "--journal", str(journal_path),
+        "--chrome-trace", str(chrome_path), "--prom", str(prom_path),
+        "--trace", str(trace_path),
+    ]) == 0
+    capsys.readouterr()
+    for path in (metrics_path, journal_path, chrome_path, prom_path, trace_path):
+        assert path.exists(), path
+        assert path.stat().st_size > 0, path
 
 
 def test_journal_written_even_when_the_command_dies(tmp_path, monkeypatch, capsys):

@@ -22,7 +22,7 @@ from repro.corpus.program import (
     RODATA_BASE,
     call_const,
 )
-from repro.emu import Emulator
+from repro.emu import Emulator, TamperWatch
 from repro.ropc import ir
 from repro.x86.registers import EAX, EBX, ECX, EDI, EDX, ESI
 
@@ -149,6 +149,46 @@ def test_wurster_patched_runs_identical_under_both_engines(seed):
     # and the chain must actually trip over the tampered gadget
     clean = _run_signature(image, "step")
     assert step_sig != clean
+
+
+# ----------------------------------------------------------------------
+# Tamper-watch latency stamps
+# ----------------------------------------------------------------------
+
+def _watched_signature(image, ranges, engine):
+    emulator = Emulator(image, max_steps=MAX_STEPS, engine=engine)
+    watch = TamperWatch(ranges)
+    emulator.tamper_watch = watch
+    sig = _signature(emulator.run())
+    return sig, (watch.hit_steps, watch.hit_cycles, watch.hit_eip)
+
+
+@settings(max_examples=4, deadline=None)
+@given(st.integers(0, 2**31))
+def test_tamper_watch_stamps_identical_under_both_engines(seed):
+    """The detection-latency stamps (first execution of tampered bytes)
+    must be byte-identical across engines: the block engine single-steps
+    through watch-overlapping superblocks, so the stamp always comes
+    from the same per-step accounting."""
+    protected = _protect(_make_program(seed))
+    image = protected.image
+    target = next(
+        addr
+        for addr in protected.report.chains[0].gadget_addresses
+        if image.section_at(addr).name == ".text"
+    )
+    patch = corrupt_byte(image, target)
+    tampered = image.clone()
+    patch.apply(tampered)
+    ranges = [(patch.vaddr, patch.vaddr + len(patch.new))]
+
+    step_sig, step_stamp = _watched_signature(tampered, ranges, "step")
+    block_sig, block_stamp = _watched_signature(tampered, ranges, "block")
+    assert step_sig == block_sig
+    assert step_stamp == block_stamp
+    # the tampered gadget is on the chain's dispatch path: it executes
+    assert step_stamp[1] is not None
+    assert step_stamp[1] <= step_sig[2]  # stamped no later than run end
 
 
 # ----------------------------------------------------------------------

@@ -106,6 +106,43 @@ def test_divergence_against_expected_sequence():
     assert tracer.divergence([0x1]) == 1  # executed more than expected
 
 
+def test_steps_carry_monotonic_cycle_stamps(protected_wget_cleartext):
+    """Every gadget dispatch is stamped with the emulator cycle counter,
+    so a divergence can be located on the detection-latency axis."""
+    protected = protected_wget_cleartext
+    record = protected.report.chains[0]
+    result, tracer = trace_chain_run(protected.image, record)
+    assert not result.crashed
+    stamps = [step.cycles for step in tracer.steps]
+    assert all(c is not None for c in stamps)
+    assert stamps == sorted(stamps)
+    assert stamps[-1] <= result.cycles
+
+
+def test_divergence_cycles_locates_first_divergent_dispatch():
+    tracer = ChainExecutionTracer([0x1, 0x2, 0x3])
+
+    class FakeInsn:
+        mnemonic = "ret"
+        is_return = True
+
+    class FakeCpu:
+        esp = 0
+
+    class FakeEmulator:
+        cpu = FakeCpu()
+        cycles = 0
+
+    emulator = FakeEmulator()
+    tracer._emulator = emulator
+    for cycles, eip in ((10, 0x1), (20, 0x2), (30, 0x3)):
+        emulator.cycles = cycles
+        tracer.on_step(eip, FakeInsn())
+    assert tracer.divergence_cycles([0x1, 0x2, 0x3]) is None
+    assert tracer.divergence_cycles([0x1, 0x9, 0x3]) == 20
+    assert tracer.divergence_cycles([0x1]) == 20  # ran past expectations
+
+
 def test_jsonl_export(tmp_path, protected_wget_cleartext):
     protected = protected_wget_cleartext
     record = protected.report.chains[0]

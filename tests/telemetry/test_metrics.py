@@ -270,6 +270,45 @@ def test_histogram_quantile_bounds_and_overflow():
     assert hist.quantile(0.25) >= hist.min
 
 
+def test_histogram_empty_quantiles_and_moments():
+    registry = MetricsRegistry()
+    hist = registry.histogram("empty_q", buckets=(10, 100))
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.stddev == 0.0
+    for q in (0.0, 0.5, 0.9, 1.0):
+        assert hist.quantile(q) == 0.0
+    assert hist.min is None and hist.max is None
+
+
+def test_histogram_single_sample():
+    """With one observation every quantile is that observation, the
+    mean equals it, and the spread is zero."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("single", buckets=(10, 100, 1000))
+    hist.observe(42)
+    assert hist.count == 1
+    assert hist.mean == 42.0
+    assert hist.stddev == 0.0
+    assert hist.min == hist.max == 42
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert hist.quantile(q) == 42.0
+
+
+def test_histogram_all_samples_in_one_bucket():
+    """Identical samples collapse one bucket; min/max clamping must pin
+    every quantile to the single observed value, not the bucket span."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("mono", buckets=(10, 100, 1000))
+    for _ in range(50):
+        hist.observe(55)  # all land in the (10, 100] bucket
+    assert hist.counts[1] == 50
+    assert sum(hist.counts) == 50
+    assert hist.stddev == 0.0
+    for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+        assert hist.quantile(q) == 55.0
+
+
 def test_merge_samples_folds_sum_sq():
     worker_a = MetricsRegistry(enabled=True)
     worker_a.histogram("lat", buckets=(10,)).observe(3)
