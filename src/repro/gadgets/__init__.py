@@ -9,6 +9,8 @@ from .finder import (
     find_gadgets,
     find_gadgets_in_bytes,
     find_gadgets_in_bytes_cached,
+    reference_find_gadgets,
+    reference_find_gadgets_in_bytes,
 )
 from .semantics import classify
 from .types import COMPILER_USABLE, Gadget, GadgetKind, GadgetOp
@@ -22,6 +24,8 @@ __all__ = [
     "find_gadgets",
     "find_gadgets_in_bytes",
     "find_gadgets_in_bytes_cached",
+    "reference_find_gadgets",
+    "reference_find_gadgets_in_bytes",
     "classify",
     "COMPILER_USABLE",
     "Gadget",

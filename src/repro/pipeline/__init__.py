@@ -21,6 +21,7 @@ from ..cache import (
     get_cache,
     reset_caches,
 )
+from .pool import mp_context, run_tasks, worker_init
 from .runner import PipelineResult, config_for_program, protect_all, protect_one
 
 __all__ = [
@@ -28,6 +29,9 @@ __all__ = [
     "config_for_program",
     "protect_all",
     "protect_one",
+    "mp_context",
+    "run_tasks",
+    "worker_init",
     "cache_manager",
     "cache_session",
     "configure_cache",

@@ -23,7 +23,6 @@ Fans :meth:`Parallax.protect` out across corpus programs with
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
 import time
@@ -41,6 +40,7 @@ from ..telemetry import (
     set_metrics,
     set_tracer,
 )
+from .pool import mp_context, worker_init
 
 __all__ = [
     "PipelineResult",
@@ -197,28 +197,9 @@ def _run_task(task: dict) -> dict:
     }
 
 
-def _worker_init(cache_dir: Optional[str], enabled: bool) -> None:
-    """Pool initializer: mirror the parent's cache configuration.
-
-    Under the ``spawn`` start method nothing is inherited, so the
-    parent's effective cache directory is re-applied explicitly; under
-    ``fork`` this simply rebuilds the manager with empty memory tiers
-    (the disk tier is the shared medium between processes).
-    """
-    configure_cache(cache_dir=cache_dir, enabled=enabled)
-    from .. import telemetry
-
-    telemetry.disable()
-
-
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
-
-
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
 def protect_all(
@@ -281,11 +262,11 @@ def protect_all(
         if jobs == 1 or len(tasks) <= 1:
             raw = [_run_task(task) for task in tasks]
         else:
-            ctx = _mp_context()
+            ctx = mp_context()
             pool_size = min(jobs, len(tasks))
             with ctx.Pool(
                 pool_size,
-                initializer=_worker_init,
+                initializer=worker_init,
                 initargs=(effective_cache_dir, cache_enabled),
             ) as pool:
                 raw = list(pool.imap(_run_task, tasks, chunksize=1))

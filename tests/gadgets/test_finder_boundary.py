@@ -1,0 +1,70 @@
+"""decode_gadget_at buffer-boundary semantics.
+
+A gadget whose return terminates *exactly* at the buffer end is valid;
+anything extending past the end is not.  The bound check runs before an
+instruction is accepted, so the distinction holds even for a
+(hypothetically permissive) decoder that fabricates instructions past
+the end — it is a property of the finder, not of decoder strictness.
+"""
+
+import pytest
+
+import repro.gadgets.finder as finder_mod
+from repro.gadgets import decode_gadget_at, find_gadgets_in_bytes
+from repro.gadgets.types import GadgetOp
+
+
+def test_ret_terminating_exactly_at_buffer_end_is_a_gadget():
+    data = bytes([0x58, 0xC3])  # pop eax; ret — ret is the last byte
+    gadget = decode_gadget_at(data, 0, base=0x400)
+    assert gadget is not None
+    assert gadget.kind.op == GadgetOp.LOAD_CONST
+    assert gadget.end == 0x400 + len(data)
+
+
+def test_ret_imm16_terminating_exactly_at_buffer_end_is_a_gadget():
+    data = bytes([0x58, 0xC2, 0x04, 0x00])  # pop eax; ret 4 — ends at end
+    gadget = decode_gadget_at(data, 0)
+    assert gadget is not None
+    assert gadget.ret_imm == 4
+    assert gadget.end == len(data)
+
+
+def test_ret_imm16_truncated_by_buffer_end_is_rejected():
+    # ret 4's immediate is cut off: 0xC2 needs two more bytes.
+    for data in (bytes([0x58, 0xC2]), bytes([0x58, 0xC2, 0x04])):
+        assert decode_gadget_at(data, 0) is None
+        assert find_gadgets_in_bytes(data) == []
+
+
+def test_offset_at_or_past_buffer_end_is_rejected():
+    data = bytes([0xC3])
+    assert decode_gadget_at(data, len(data)) is None
+    assert decode_gadget_at(data, len(data) + 3) is None
+    assert decode_gadget_at(b"", 0) is None
+
+
+def test_bound_check_runs_before_the_instruction_is_accepted(monkeypatch):
+    """Even if the decoder fabricated a return that overruns the buffer,
+    the finder must reject it: the bound check precedes acceptance, so a
+    buffer-end gadget and an overrunning one are distinguished by the
+    finder itself, not by decoder behavior."""
+
+    class OverrunningRet:
+        length = 4  # claims 4 bytes from a 2-byte buffer
+        is_return = True
+        is_control_flow = True
+
+    def fake_decode(data, pos, address=None):
+        return OverrunningRet()
+
+    monkeypatch.setattr(finder_mod, "decode", fake_decode)
+    monkeypatch.setattr(
+        finder_mod, "classify",
+        lambda instructions: pytest.fail(
+            "classify() must never see an overrunning instruction"
+        ),
+    )
+    assert decode_gadget_at(b"\x00\xc3", 0) is None
+    # The memoized scanner takes the same bound-first path.
+    assert find_gadgets_in_bytes(b"\x00\xc3") == []
