@@ -87,28 +87,34 @@ def _fmt_cycles(value):
     return f"{value:,}" if value is not None else "-"
 
 
-def test_attack_matrix(benchmark):
-    def run_matrix():
-        program, goal, parallax, checksummed = _setting()
-        rules = RewriteEngine().classify_gadgets(parallax.image)
-        coverage = build_coverage(
-            parallax.image, parallax.report, classify_rules=False
+def run_matrix():
+    """Build, protect, attack: returns (matrix cells, coverage map)."""
+    program, goal, parallax, checksummed = _setting()
+    rules = RewriteEngine().classify_gadgets(parallax.image)
+    coverage = build_coverage(
+        parallax.image, parallax.report, classify_rules=False
+    )
+    cells = {}
+    for label, image, prot in (
+        ("unprotected", program.image, None),
+        ("checksumming", checksummed.image, None),
+        ("parallax", parallax.image, parallax),
+    ):
+        patch = _patch(image, prot)
+        rule = rules.get(patch.vaddr) if prot is not None else None
+        cells[label] = (
+            evaluate_patch_attack(image, [patch], goal, label, rule=rule),
+            evaluate_wurster_attack(image, [patch], goal, label, rule=rule),
         )
-        cells = {}
-        for label, image, prot in (
-            ("unprotected", program.image, None),
-            ("checksumming", checksummed.image, None),
-            ("parallax", parallax.image, parallax),
-        ):
-            patch = _patch(image, prot)
-            rule = rules.get(patch.vaddr) if prot is not None else None
-            cells[label] = (
-                evaluate_patch_attack(image, [patch], goal, label, rule=rule),
-                evaluate_wurster_attack(image, [patch], goal, label, rule=rule),
-            )
-        return cells, coverage
+    return cells, coverage
 
+
+def test_attack_matrix(benchmark):
     cells, coverage = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    _report(cells, coverage)
+
+
+def _report(cells, coverage):
     print()
     print("=== Attack matrix: detected? / cycles to corruption / detection ===")
     for label, (static, wurster) in cells.items():
@@ -167,3 +173,16 @@ def test_attack_matrix(benchmark):
     assert rows["unprotected"] == (False, False)
     assert rows["checksumming"] == (True, False)   # Wurster defeats it
     assert rows["parallax"] == (True, True)        # Parallax does not care
+
+
+def main() -> int:
+    """Standalone entry (no pytest-benchmark): run once, report,
+    append history — used by the CI bench-smoke job so the regression
+    gate always compares against a fresh same-job candidate."""
+    _report(*run_matrix())
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

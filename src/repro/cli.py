@@ -40,12 +40,13 @@ from .rewrite import RewriteEngine, format_fig6_table
 
 
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
-    from .emu import DEFAULT_ENGINE, ENGINES
+    from .emu import DEFAULT_ENGINE, ENGINE_DESCRIPTIONS, ENGINES
 
     parser.add_argument(
         "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
-        help="execution engine: 'block' (superblock compiler, default) "
-        "or 'step' (reference interpreter)",
+        help="execution engine: " + "; ".join(
+            f"'{name}': {ENGINE_DESCRIPTIONS[name]}" for name in ENGINES
+        ),
     )
 
 
@@ -185,7 +186,8 @@ def _cmd_profile(args) -> int:
     program = build_program(args.program)
     hotspots = HotspotProfiler()
     result, profiler = profile_run(
-        program.image, debugger_attached=args.debugger, hotspots=hotspots
+        program.image, debugger_attached=args.debugger, hotspots=hotspots,
+        engine=args.engine,
     )
     print(profiler.report())
     print()
@@ -374,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("program", choices=PROGRAM_NAMES)
     p_profile.add_argument("--debugger", action="store_true",
                            help="attach the (simulated) debugger")
+    _add_engine_arg(p_profile)
     _add_telemetry_args(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
 

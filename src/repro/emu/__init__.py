@@ -8,7 +8,9 @@ from .emulator import (
     CYCLE_COSTS,
     DEFAULT_ENGINE,
     ENGINE_BLOCK,
+    ENGINE_DESCRIPTIONS,
     ENGINE_STEP,
+    ENGINE_TRACE,
     ENGINES,
     Emulator,
     EmulatorConfig,
@@ -28,6 +30,7 @@ from .errors import (
 from .hotspots import HotspotProfiler
 from .memory import PAGE_SIZE, Memory
 from .profiler import FunctionProfile, Profiler, profile_run
+from .traces import CompiledTrace, TraceEngine
 from .syscalls import (
     ExitProgram,
     OperatingSystem,
@@ -43,8 +46,9 @@ __all__ = [
     "CPUState", "Emulator", "EmulatorConfig", "RunResult", "TamperWatch",
     "run_image",
     "CALL_SENTINEL", "CYCLE_COSTS", "Memory", "PAGE_SIZE",
-    "BlockEngine", "DISPATCH",
-    "ENGINES", "ENGINE_BLOCK", "ENGINE_STEP", "DEFAULT_ENGINE",
+    "BlockEngine", "CompiledTrace", "TraceEngine", "DISPATCH",
+    "ENGINES", "ENGINE_BLOCK", "ENGINE_TRACE", "ENGINE_STEP",
+    "ENGINE_DESCRIPTIONS", "DEFAULT_ENGINE",
     "BadFetch", "BadMemoryAccess", "DivideError", "EmulationError",
     "Halted", "StepLimitExceeded", "UnsupportedSyscall",
     "FunctionProfile", "Profiler", "profile_run", "HotspotProfiler",

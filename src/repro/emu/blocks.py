@@ -372,10 +372,16 @@ class BlockEngine:
     # Compilation
     # ------------------------------------------------------------------
 
-    def _compile(self, start: int) -> CompiledBlock:
+    def _decode_block(self, start: int):
+        """Decode the superblock at ``start``; returns ``(insns, end)``.
+
+        This is the block-shape policy shared with the trace engine
+        (:mod:`repro.emu.traces`), which links these superblocks across
+        their exits.  ``BadFetch`` on the *first* instruction propagates,
+        exactly as the step engine faults before counting the step.
+        """
         emu = self.emulator
-        insns = [emu._fetch_decode(start)]  # BadFetch here propagates,
-        # exactly as the step engine faults before counting the step.
+        insns = [emu._fetch_decode(start)]
         addr = start + insns[0].length
         while (
             insns[-1].mnemonic not in _TERMINATORS
@@ -396,7 +402,11 @@ class BlockEngine:
                 break
             insns.append(insn)
             addr += insn.length
-        end = addr
+        return insns, addr
+
+    def _compile(self, start: int) -> CompiledBlock:
+        emu = self.emulator
+        insns, end = self._decode_block(start)
 
         mem = emu.memory
         first_page = start >> 12

@@ -1,14 +1,18 @@
 """The IA-32 emulator.
 
-Executes binary images with one of two engines sharing a single set of
-instruction semantics (:mod:`repro.emu.dispatch`):
+Executes binary images with one of three engines sharing a single set
+of instruction semantics (:mod:`repro.emu.dispatch`):
 
 * the **step engine** interprets one instruction at a time through the
   decode cache — the reference implementation, and the one used when a
   per-step ``trace_hook`` is attached;
 * the **block engine** (:mod:`repro.emu.blocks`, the default) compiles
   straight-line instruction runs into cached superblocks and executes
-  them without per-instruction dispatch.
+  them without per-instruction dispatch;
+* the **trace engine** (:mod:`repro.emu.traces`) profiles block-to-
+  block transitions and links hot superblock chains across their exits
+  into single compiled traces, hoisting dispatch and coherence checks
+  to trace entry; cold paths fall back to the block engine.
 
 ROP chains need no special support: the genuine ``ret`` semantics (pop
 eip from the stack) execute them exactly as real hardware would.
@@ -54,8 +58,21 @@ _STACK_SIZE_DEFAULT = 0x4_0000
 
 #: Engine names accepted by :class:`EmulatorConfig` and the CLI.
 ENGINE_BLOCK = "block"
+ENGINE_TRACE = "trace"
 ENGINE_STEP = "step"
-ENGINES = (ENGINE_BLOCK, ENGINE_STEP)
+
+#: name -> one-line description; the single source of truth for which
+#: engines exist.  The CLI derives its ``--engine`` choices and help
+#: text from this mapping, and :class:`EmulatorConfig` validates
+#: against it, so a new engine registered here is automatically
+#: selectable everywhere.
+ENGINE_DESCRIPTIONS = {
+    ENGINE_BLOCK: "superblock compiler (default)",
+    ENGINE_TRACE: "trace-linking compiler (links hot superblock chains "
+    "into single compiled traces; falls back to blocks on cold paths)",
+    ENGINE_STEP: "single-instruction reference interpreter",
+}
+ENGINES = tuple(ENGINE_DESCRIPTIONS)
 DEFAULT_ENGINE = ENGINE_BLOCK
 
 #: Per-generation bound of the decode cache; two generations are kept,
@@ -67,8 +84,9 @@ class EmulatorConfig:
     """Execution-engine configuration, separate from what to run.
 
     Attributes:
-        engine: ``"block"`` (superblock compiler, default) or ``"step"``
-            (single-instruction reference interpreter).
+        engine: one of :data:`ENGINES` — ``"block"`` (superblock
+            compiler, default), ``"trace"`` (trace-linking compiler) or
+            ``"step"`` (single-instruction reference interpreter).
         max_steps: default instruction budget.
         stack_top: default initial esp (grows down).
     """
@@ -200,6 +218,7 @@ class Emulator:
         self._decode_cache = {}
         self._decode_cache_old = {}
         self._block_engine = None
+        self._trace_engine = None
         #: optional HotspotProfiler; installed lazily by run() (see
         #: REPRO_HOTSPOTS) or explicitly by callers.  ``None`` keeps the
         #: per-step hot path free of profiling branches' costs beyond
@@ -231,8 +250,28 @@ class Emulator:
             self._block_engine = BlockEngine(self)
         return self._block_engine
 
-    def _use_blocks(self) -> bool:
-        return self.engine == ENGINE_BLOCK and self.trace_hook is None
+    @property
+    def traces(self):
+        """The lazily-created trace engine bound to this emulator."""
+        if self._trace_engine is None:
+            from .traces import TraceEngine
+
+            self._trace_engine = TraceEngine(self)
+        return self._trace_engine
+
+    def _compiled_engine(self):
+        """The compiled-execution engine for this run, or ``None``.
+
+        ``None`` means single-step: either the step engine was selected
+        or a ``trace_hook`` demands that every instruction be observed.
+        """
+        if self.trace_hook is not None:
+            return None
+        if self.engine == ENGINE_BLOCK:
+            return self.blocks
+        if self.engine == ENGINE_TRACE:
+            return self.traces
+        return None
 
     # ------------------------------------------------------------------
     # Operand helpers
@@ -400,8 +439,9 @@ class Emulator:
         with get_tracer().span("emulate") as span:
             fault = None
             try:
-                if self._use_blocks():
-                    self.blocks.run()
+                compiled = self._compiled_engine()
+                if compiled is not None:
+                    compiled.run()
                 else:
                     while True:
                         self.step()
@@ -463,12 +503,30 @@ class Emulator:
             )
             metrics.counter("emu.blocks.invalidated").inc(be.invalidated)
             metrics.counter("emu.blocks.write_aborts").inc(be.write_aborts)
+        te = self._trace_engine
+        if te is not None:
+            metrics.counter("emu.traces.hits").inc(te.hits)
+            metrics.counter("emu.traces.epoch_hits").inc(te.epoch_hits)
+            metrics.counter("emu.traces.page_revalidations").inc(
+                te.page_revalidations
+            )
+            metrics.counter("emu.traces.invalidated").inc(te.invalidated)
+            metrics.counter("emu.traces.write_aborts").inc(te.write_aborts)
+            # trace-level sampling, mirrored under emu.hot.trace.* so the
+            # stats dashboard groups it with the hot-spot report.
+            metrics.counter("emu.hot.trace.compiled").inc(te.compiled)
+            metrics.counter("emu.hot.trace.side_exit_fallbacks").inc(
+                te.side_exit_fallbacks
+            )
+            metrics.counter("emu.hot.trace.retired").inc(te.retired)
         hot = self.hotspots
         if hot is not None:
             for mnemonic, count in hot.top_mnemonics(16):
                 metrics.counter(f"emu.hot.mnemonic.{mnemonic}").inc(count)
             for start, execs in hot.top_blocks(16):
                 metrics.counter(f"emu.hot.block.{start:#010x}").inc(execs)
+            for head, execs in hot.top_traces(16):
+                metrics.counter(f"emu.hot.trace.head.{head:#010x}").inc(execs)
             if self._hotspots_auto:
                 # Counts were flushed into the registry; clear so
                 # repeated run() calls don't double-count.  A profiler
@@ -498,8 +556,9 @@ class Emulator:
             self.push(arg & MASK32)
         self.push(CALL_SENTINEL)
         self.cpu.eip = vaddr
-        if self._use_blocks():
-            self.blocks.run(stop=CALL_SENTINEL)
+        compiled = self._compiled_engine()
+        if compiled is not None:
+            compiled.run(stop=CALL_SENTINEL)
         else:
             while self.cpu.eip != CALL_SENTINEL:
                 self.step()

@@ -115,20 +115,31 @@ def profile_run(
     max_steps: int = 5_000_000,
     debugger_attached: bool = False,
     hotspots=None,
+    engine: str = "step",
 ):
     """Run ``image`` under the profiler; returns (RunResult, Profiler).
 
     Pass a :class:`repro.emu.hotspots.HotspotProfiler` as ``hotspots``
-    to also collect per-mnemonic samples during the same run (the
-    profiler forces the step engine, so every instruction is sampled).
+    to also collect hot-spot samples.  The function profiler itself
+    always forces the step engine (its per-instruction trace hook is
+    how cycles get attributed), so with ``engine="step"`` the hot-spot
+    samples come from that same run.  Any other ``engine`` triggers a
+    second, hook-free run under that engine so the profiler can record
+    engine-level samples too — superblock executions for ``block``,
+    trace dispatches (``emu.hot.trace.*``) for ``trace``.
     """
     from .syscalls import OperatingSystem
 
     os = OperatingSystem(stdin=stdin, debugger_attached=debugger_attached)
     emulator = Emulator(image, os=os, max_steps=max_steps)
-    if hotspots is not None:
+    if hotspots is not None and engine == "step":
         emulator.hotspots = hotspots
     profiler = Profiler(image)
     profiler.attach(emulator)
     result = emulator.run()
+    if hotspots is not None and engine != "step":
+        os2 = OperatingSystem(stdin=stdin, debugger_attached=debugger_attached)
+        sampler = Emulator(image, os=os2, max_steps=max_steps, engine=engine)
+        sampler.hotspots = hotspots
+        sampler.run()
     return result, profiler

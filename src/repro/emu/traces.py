@@ -1,0 +1,1125 @@
+"""Trace-linking execution engine: hot superblock chains compiled whole.
+
+The block engine (:mod:`repro.emu.blocks`) removed per-instruction
+dispatch; what remains on chain-heavy workloads is per-*block* dispatch:
+every superblock execution pays a cache probe, an epoch/page-version
+validity check, a step-budget compare and a tamper-watch check before
+its generated function even starts — and ROP verification chains are
+made of *tiny* blocks (a gadget is a couple of instructions ending in
+``ret``), so that fixed cost dominates.  This module removes it the
+same way the block engine removed dispatch: by compiling more per
+entry.
+
+A **trace** is a chain of superblocks linked across their observed
+exits into one generated Python function.  Construction is
+record-then-compile (the classic NET scheme):
+
+* the engine counts block-entry executions while executing cold code
+  through the block engine (one counter bump per block execution);
+* once an entry crosses ``TRACE_HOT_THRESHOLD`` it becomes a *trace
+  head*: the engine **records** the very next executed block sequence
+  from that head — the actual hot path, including which direction each
+  conditional jump went and, crucially, where each ``ret`` went.
+  Recording a concrete execution is what makes ROP chains traceable:
+  a gadget shared between ten chain positions has ten different ret
+  targets, but *at this position in this path* it has exactly one;
+* compiled traces are cached under ``(head eip, head esp)``.  The
+  stack pointer disambiguates *chain position*: a verification chain
+  pops its way through the stack, so every occurrence of a shared
+  gadget sits at a distinct esp — and re-executions of the chain
+  revisit the same esp with the same stack data, so each position gets
+  its own trace whose guards then pass.  Ordinary code is unharmed: a
+  loop head re-enters at a constant esp, and a routine entered from
+  several stack depths merely compiles one (identical) trace per
+  depth, bounded by the cache generations and a per-eip variant cap;
+* the recorded path is compiled into one function.  Static links
+  (``jmp``, ``call``) cost nothing at run time; a linked conditional
+  jump becomes a guard that side-exits when the cold direction is
+  taken; a linked ``ret`` executes the full genuine ret semantics
+  (stack pop, RAS, mispredict accounting) and then guards the popped
+  target against the recorded successor.  Any failed guard charges the
+  exact executed prefix and returns to the dispatch loop — the
+  **side-exit fallback** — where the block engine continues at the
+  actual target.
+
+Dispatch and cache-coherence checks are thereby *hoisted to trace
+entry*: one cache probe, one ``write_epoch`` compare (or per-page
+version probes on epoch mismatch) and one tamper-watch check cover the
+whole chain.
+
+Coherence reuses the block engine's three-tier invalidation unchanged:
+
+* **tier 1/2 (entry)** — a trace records the write-counter version of
+  every page any of its blocks span; a ``write_epoch`` match proves
+  validity in one compare, and on mismatch the per-page versions are
+  re-probed (tamper through either memory view bumps them);
+* **tier 3 (in-trace)** — specialized stores range-check against the
+  trace's byte envelope and abort after the store; generic handler
+  stores re-probe the trace's page versions.  Either abort returns to
+  the dispatch loop exactly where the step engine would first re-decode.
+* an invalidated trace is dropped and its head's hotness reset, so the
+  path is re-recorded before the trace is rebuilt — self-modifying
+  code and mid-run tampering recompile along the *new* observed path.
+
+Semantics stay bit-identical to the step engine by construction: every
+instruction body is emitted by the block engine's specializer (or falls
+back to the shared :mod:`repro.emu.dispatch` handlers), step/cycle
+accounting charges exact prefixes on every exit path, and an unhit
+:class:`~repro.emu.emulator.TamperWatch` overlapping any linked block
+makes the engine single-step, exactly like the block engine does.
+
+Code on unversioned pages (the stack) is never linked into a trace —
+such blocks execute through the block engine's uncached path, as today.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..telemetry.recorder import get_recorder
+from ..x86.instruction import CONDITIONAL_JUMPS, CONTROL_FLOW
+from ..x86.operands import Imm, Rel
+from .cpu import MASK32
+from .dispatch import DISPATCH, cost_of
+from .errors import BadFetch
+from .blocks import _CC_EXPR, _SHARED_NS, _is_r32, _unimplemented
+
+#: Block-entry executions before the entry is promoted to a trace head
+#: (its next execution is recorded and compiled).  Low enough that
+#: steady-state workloads (repeated verification-chain calls) promote
+#: within the first few iterations; high enough that straight-through
+#: cold code never pays a recording or a compile.
+TRACE_HOT_THRESHOLD = 8
+
+#: Upper bounds per trace.  A trace's dispatch savings scale with its
+#: length; the caps bound compile time and generated-function size.
+MAX_TRACE_BLOCKS = 64
+MAX_TRACE_INSNS = 512
+
+#: Per-generation bound of the trace cache (two generations resident,
+#: promote-on-hit — same policy as the decode and block caches).
+TRACE_CACHE_GENERATION = 1024
+
+#: Per-head bound on esp-keyed trace variants resident in the young
+#: generation.  Chain positions of a shared gadget are naturally
+#: bounded; this caps the pathological case (deep recursion entering
+#: the same routine from ever-new stack depths would otherwise compile
+#: an identical trace per depth).
+MAX_TRACE_VARIANTS = 64
+
+#: Hotness-table bound: entry counters are evicted wholesale when the
+#: program touches this many distinct block entries (pathological
+#: self-modifying workloads; normal programs never get close).
+_COUNTER_LIMIT = 1 << 16
+
+#: Fuse trailing ``pop r32`` runs + ``ret`` into one segment-checked
+#: batch load (the dominant gadget shape).  Module-level so tests can
+#: A/B the fused and per-instruction emissions.
+FUSE_RET_GROUPS = True
+
+#: Deferred-compilation proof divisor: a recorded path is compiled
+#: after ``1 + len(path) // PENDING_CONFIRM_DIVISOR`` re-dispatches of
+#: its ``(eip, esp)`` key.  Compile cost scales with path length, so
+#: longer paths must demonstrate proportionally more reuse before the
+#: engine pays for them.
+PENDING_CONFIRM_DIVISOR = 16
+
+#: Emit a ``# addr: disassembly`` comment above every instruction in
+#: generated trace sources.  Costs real compile time on workloads that
+#: build many traces (``insn.text()`` per instruction plus ~30% more
+#: source to tokenize), so it is off outside debugging sessions.
+TRACE_SOURCE_COMMENTS = False
+
+
+class CompiledTrace:
+    """One compiled trace: a linked superblock chain and its stamps."""
+
+    __slots__ = (
+        "head", "sp", "n", "fn", "pages", "ranges", "starts", "epoch",
+        "mnems", "looping",
+    )
+
+    def __init__(
+        self, head, sp, n, fn, pages, ranges, starts, epoch, mnems=(),
+        looping=False,
+    ):
+        self.head = head
+        #: esp at head entry when the path was recorded — the second
+        #: cache-key component.  In a verification chain it identifies
+        #: the *chain position*, so a gadget shared between positions
+        #: gets one trace per position and each position's guards pass.
+        self.sp = sp
+        #: total instructions when the trace runs to completion.
+        self.n = n
+        self.fn = fn
+        #: ``(page_number, version_at_compile)`` for every page any
+        #: linked block spans; entry validation re-probes these on
+        #: ``write_epoch`` mismatch.
+        self.pages = pages
+        #: per-block ``(start, end)`` byte ranges (tamper-watch overlap).
+        self.ranges = ranges
+        #: linked block entry addresses (hotness reset on invalidation).
+        self.starts = starts
+        #: memory.write_epoch at stamp time; equality proves validity
+        #: without per-page probes (refreshed on successful re-check).
+        self.epoch = epoch
+        #: mnemonic tuple across all linked blocks (hot-spot attribution).
+        self.mnems = mnems
+        #: the recorded path returned to its head: the generated
+        #: function iterates in place (with a per-iteration accounting
+        #: and budget seam) instead of exiting after one pass, so ``n``
+        #: is the instruction count of *one* iteration.
+        self.looping = looping
+
+    def __repr__(self) -> str:
+        loop = " loop" if self.looping else ""
+        return (
+            f"<CompiledTrace {self.head:#x}@{self.sp:#x} "
+            f"blocks={len(self.starts)} n={self.n}{loop}>"
+        )
+
+
+class TraceEngine:
+    """Trace cache + recording dispatch loop bound to one ``Emulator``.
+
+    Cold code executes through the emulator's (shared) block engine
+    while the trace engine counts block-entry hotness; a hot head's
+    next execution is recorded block-by-block and compiled into a
+    linked trace, dispatched from here ever after.
+    """
+
+    def __init__(self, emulator):
+        self.emulator = emulator
+        #: the emulator's block engine: compilation machinery, fallback
+        #: execution tier, and the instruction specializer traces reuse.
+        self.blocks = emulator.blocks
+        #: head eip -> {head esp -> trace}, two generations.  The outer
+        #: probe is a plain int key, so never-traced code pays the same
+        #: single dict miss as the block engine's cache probe.
+        self._cache: Dict[int, Dict[int, CompiledTrace]] = {}
+        self._old: Dict[int, Dict[int, CompiledTrace]] = {}
+        self._young_count = 0
+        #: block entry -> executions observed in the cold path.
+        self._exec: Dict[int, int] = {}
+        #: ``(eip, esp)`` keys whose recorded path could not be linked
+        #: (single-block paths gain nothing; unlinkable terminators).
+        self._no_trace: Set[Tuple[int, int]] = set()
+        #: recorded-but-not-yet-compiled paths: ``(eip, esp)`` ->
+        #: ``[block-entry path, closed, confirmations remaining]``.
+        #: Compilation is deferred until the key re-executes enough
+        #: times to amortize the build: a code-generation +
+        #: ``compile()`` pass costs milliseconds and scales with path
+        #: length, so long paths demand proportionally more proof
+        #: (``1 + len(path) // PENDING_CONFIRM_DIVISOR``) while a small
+        #: hot loop compiles on its first re-encounter.  One-shot
+        #: program code never pays a compile at all.
+        self._pending: Dict[Tuple[int, int], list] = {}
+        #: the block-entry sequence being recorded, or ``None``.
+        self._recording: Optional[List[int]] = None
+        #: cache key of the recording's head: ``(eip, esp at entry)``.
+        self._record_key: Tuple[int, int] = (-1, -1)
+        #: loop-candidate cycle length: the path returned to its head
+        #: at the head's esp after this many blocks.  Confirmed (and
+        #: compiled as a looping trace) only if the next cycle repeats
+        #: it exactly — a chain that *pivots* esp back over rewritten
+        #: stack words revisits the head but then diverges, and must be
+        #: recorded straight through instead.
+        self._record_cycle = 0
+        #: the recording ends in a confirmed loop closure.
+        self._record_closed = False
+        #: the successor the recorded path must continue at; anything
+        #: else (exception unwound, run() boundary, cached-trace hit)
+        #: finalizes the recording at its current prefix.
+        self._record_expect = -1
+        # telemetry (recorded at run end by the emulator).
+        self.compiled = 0
+        self.hits = 0
+        self.epoch_hits = 0
+        self.page_revalidations = 0
+        self.invalidated = 0
+        self.write_aborts = 0
+        #: guard failures: a linked jcc went the cold way or a linked
+        #: ret popped an unexpected target; execution fell back to the
+        #: dispatch loop with the exact prefix charged.
+        self.side_exit_fallbacks = 0
+        #: instructions retired inside trace executions (complete or
+        #: partial), for the ``emu.hot.trace.retired`` metric.
+        self.retired = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, stop: Optional[int] = None) -> None:
+        """Execute until ``ExitProgram``/fault, or until eip == ``stop``.
+
+        Exceptions propagate with step/cycle accounting already exact,
+        identical to the step and block engines.
+        """
+        emu = self.emulator
+        cpu = emu.cpu
+        mem = emu.memory
+        regs = cpu.regs
+        blocks = self.blocks
+        bcache = blocks._cache
+        vget = mem._versions.get
+        max_steps = emu.max_steps
+        cache = self._cache
+        rec = get_recorder()
+        hot = emu.hotspots
+        exec_counts = self._exec
+        hits = 0
+        epoch_hits = 0
+        b_hits = 0
+        b_epoch_hits = 0
+        try:
+            while True:
+                eip = cpu.eip
+                if eip == stop:
+                    return
+                if self._recording is None:
+                    by_sp = cache.get(eip)
+                    t = by_sp.get(regs[4]) if by_sp is not None else None
+                    if t is None and self._old:
+                        t = self._revalidate_old(eip, regs[4])
+                else:
+                    # Record *through* compiled territory (cold, via the
+                    # block engine): stopping at an existing trace's
+                    # boundary would fragment paths into short traces,
+                    # and recordings are rare enough that the slower
+                    # pass never shows.
+                    by_sp = None
+                    t = None
+                if t is not None:
+                    # Inline fast path: young-generation hit validated
+                    # by the global epoch compare alone.
+                    epoch = mem.write_epoch
+                    if t.epoch != epoch:
+                        for page, version in t.pages:
+                            if vget(page, 0) != version:
+                                self._invalidate(t)
+                                t = None
+                                break
+                        else:
+                            t.epoch = epoch
+                            self.page_revalidations += 1
+                    else:
+                        epoch_hits += 1
+                if t is not None:
+                    if emu.steps + t.n > max_steps:
+                        # Near the budget: single-step so
+                        # StepLimitExceeded fires on exactly the same
+                        # instruction as the step engine.
+                        emu.step()
+                        continue
+                    watch = emu.tamper_watch
+                    if (
+                        watch is not None
+                        and watch.hit_cycles is None
+                        and any(watch.overlaps(s, e) for s, e in t.ranges)
+                    ):
+                        # An unhit TamperWatch overlaps a linked block:
+                        # single-step so the stamp comes from
+                        # Emulator.step, identical to both other engines.
+                        emu.step()
+                        continue
+                    hits += 1
+                    if hot is not None:
+                        hot.record_trace(t)
+                    before = emu.steps
+                    status = t.fn(emu, cpu, mem)
+                    self.retired += emu.steps - before
+                    if status:
+                        if status == 1:
+                            self.write_aborts += 1
+                            if rec.enabled:
+                                rec.record(
+                                    "trace_invalidate", tier="store",
+                                    head=t.head,
+                                )
+                        else:
+                            self.side_exit_fallbacks += 1
+                    continue
+
+                # -- cold tier: block execution + hotness/recording ----
+                b = bcache.get(eip)
+                if b is None or b.epoch != mem.write_epoch:
+                    b = blocks._lookup(eip)
+                    bcache = blocks._cache  # may have rotated generations
+                else:
+                    b_epoch_hits += 1
+                if emu.steps + b.n > max_steps:
+                    emu.step()
+                    continue
+                watch = emu.tamper_watch
+                if (
+                    watch is not None
+                    and watch.hit_cycles is None
+                    and watch.overlaps(b.start, b.end)
+                ):
+                    emu.step()
+                    continue
+                b_hits += 1
+                if hot is not None:
+                    hot.record_block(b)
+                sp = regs[4]
+                before = emu.steps
+                if b.fn(emu, cpu, mem):
+                    blocks.write_aborts += 1
+                    if rec.enabled:
+                        rec.record(
+                            "block_invalidate", tier="store",
+                            start=b.start, end=b.end,
+                        )
+                if not b.cacheable:
+                    # Unversioned (stack) code is neither counted nor
+                    # recorded — nothing could ever invalidate it.
+                    if self._recording is not None:
+                        self._finalize_recording()
+                    continue
+                completed = emu.steps - before == b.n
+                recording = self._recording
+                if recording is not None:
+                    if eip != self._record_expect:
+                        # Path broken (exception unwound, run() restart):
+                        # compile the prefix we trusted.
+                        self._finalize_recording()
+                    elif completed and len(recording) < MAX_TRACE_BLOCKS:
+                        recording.append(eip)
+                        nxt = cpu.eip
+                        self._record_expect = nxt
+                        cyc = self._record_cycle
+                        if cyc:
+                            pos = len(recording) - 1
+                            if eip != recording[pos - cyc]:
+                                # Second pass diverged: the head revisit
+                                # was a pivot, not a loop.  Keep
+                                # recording straight through it.
+                                self._record_cycle = 0
+                            elif pos + 1 == 2 * cyc:
+                                if (
+                                    nxt == recording[0]
+                                    and regs[4] == self._record_key[1]
+                                ):
+                                    # Two identical consecutive cycles:
+                                    # a genuine loop.  Compile one
+                                    # cycle as a looping trace.
+                                    del recording[cyc:]
+                                    recording.append(nxt)
+                                    self._record_closed = True
+                                    self._finalize_recording()
+                                else:
+                                    self._record_cycle = 0
+                        elif (
+                            nxt == recording[0]
+                            and regs[4] == self._record_key[1]
+                        ):
+                            # Path returned to its head at the head's
+                            # esp: loop candidate, to be confirmed by
+                            # the next cycle.
+                            self._record_cycle = len(recording)
+                        continue
+                    else:
+                        # Interior side exit (successor is not the final
+                        # instruction's) or length cap: stop the path
+                        # here — with this block, whose exit is genuine,
+                        # if it completed.
+                        if completed:
+                            recording.append(eip)
+                        self._finalize_recording()
+                        continue
+                count = exec_counts.get(eip, 0) + 1
+                if count >= TRACE_HOT_THRESHOLD:
+                    if (
+                        completed
+                        and (eip, sp) not in self._no_trace
+                        and (by_sp is None or len(by_sp) < MAX_TRACE_VARIANTS)
+                    ):
+                        pending = self._pending.get((eip, sp))
+                        if pending is not None:
+                            # A recorded path re-executing: once it has
+                            # proven enough reuse to amortize its build,
+                            # compile it.  The trace dispatches from the
+                            # next arrival.
+                            pending[2] -= 1
+                            if pending[2] <= 0:
+                                del self._pending[(eip, sp)]
+                                self._compile_pending((eip, sp), pending)
+                        else:
+                            # Promote: record this execution's
+                            # continuation.  Each (eip, esp) position
+                            # records separately, so a shared gadget
+                            # grows one trace per position.
+                            self._recording = [eip]
+                            self._record_key = (eip, sp)
+                            self._record_cycle = 0
+                            self._record_closed = False
+                            self._record_expect = cpu.eip
+                else:
+                    if len(exec_counts) >= _COUNTER_LIMIT:
+                        exec_counts.clear()
+                    exec_counts[eip] = count
+        finally:
+            self.hits += hits
+            self.epoch_hits += epoch_hits
+            blocks.hits += b_hits
+            blocks.epoch_hits += b_epoch_hits
+            if self._recording is not None:
+                # The run ended (stop address, fault, program exit) with
+                # a recording active: compile the prefix now.  Letting it
+                # survive into the next run would keep bypassing trace
+                # dispatch and re-record from scratch every run.
+                self._finalize_recording()
+
+    def run_steps(self, n: int) -> None:
+        """Execute exactly ``n`` instructions (attack drivers, tests).
+
+        Already-compiled traces that fit inside the remaining budget
+        execute whole; anything else is delegated to the block engine's
+        exact-step path, so the emulator lands on precisely the same
+        instruction boundary as ``n`` calls to :meth:`Emulator.step`.
+        (No hotness counting or recording happens here — paths become
+        traces through :meth:`run`.)
+        """
+        emu = self.emulator
+        cpu = emu.cpu
+        target = emu.steps + n
+        while emu.steps < target:
+            t = self._lookup_valid(cpu.eip, cpu.regs[4])
+            watch = emu.tamper_watch
+            if (
+                t is None
+                or t.looping  # would retire an unbounded iteration count
+                or emu.steps + t.n > min(target, emu.max_steps)
+                or (
+                    watch is not None
+                    and watch.hit_cycles is None
+                    and any(watch.overlaps(s, e) for s, e in t.ranges)
+                )
+            ):
+                self.blocks.run_steps(target - emu.steps)
+                return
+            self.hits += 1
+            hot = emu.hotspots
+            if hot is not None:
+                hot.record_trace(t)
+            before = emu.steps
+            status = t.fn(emu, cpu, emu.memory)
+            self.retired += emu.steps - before
+            if status:
+                if status == 1:
+                    self.write_aborts += 1
+                else:
+                    self.side_exit_fallbacks += 1
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+
+    def _lookup_valid(self, eip: int, sp: int) -> Optional[CompiledTrace]:
+        """The valid cached trace headed at ``(eip, sp)``, if any."""
+        by_sp = self._cache.get(eip)
+        t = by_sp.get(sp) if by_sp is not None else None
+        if t is None:
+            if not self._old:
+                return None
+            return self._revalidate_old(eip, sp)
+        mem = self.emulator.memory
+        epoch = mem.write_epoch
+        if t.epoch == epoch:
+            self.epoch_hits += 1
+            return t
+        vget = mem._versions.get
+        for page, version in t.pages:
+            if vget(page, 0) != version:
+                self._invalidate(t)
+                return None
+        t.epoch = epoch
+        self.page_revalidations += 1
+        return t
+
+    def _revalidate_old(self, eip: int, sp: int) -> Optional[CompiledTrace]:
+        """Old-generation probe: promote a valid survivor, or ``None``."""
+        by_sp = self._old.get(eip)
+        t = by_sp.get(sp) if by_sp is not None else None
+        if t is None:
+            return None
+        mem = self.emulator.memory
+        epoch = mem.write_epoch
+        if t.epoch != epoch:
+            vget = mem._versions.get
+            for page, version in t.pages:
+                if vget(page, 0) != version:
+                    self._invalidate(t)
+                    return None
+            t.epoch = epoch
+            self.page_revalidations += 1
+        self._cache.setdefault(eip, {})[sp] = t  # promote the survivor
+        self._young_count += 1
+        return t
+
+    def _remember(self, t: CompiledTrace) -> None:
+        self.compiled += 1
+        if self._young_count >= TRACE_CACHE_GENERATION:
+            self._old = self._cache
+            self._cache = {}
+            self._young_count = 0
+        self._cache.setdefault(t.head, {})[t.sp] = t
+        self._young_count += 1
+
+    def _invalidate(self, t: CompiledTrace) -> None:
+        """Drop ``t`` and reset its head's hotness.
+
+        The head must re-cross the threshold before the path is
+        re-recorded and the trace rebuilt — tampered code may branch
+        (or return) differently, and the new recording follows the
+        *new* observed path.
+        """
+        self.invalidated += 1
+        head = t.head
+        for gen in (self._cache, self._old):
+            by_sp = gen.get(head)
+            if by_sp is not None:
+                by_sp.pop(t.sp, None)
+                if not by_sp:
+                    del gen[head]
+        self._exec[head] = 0
+        self._no_trace.discard((head, t.sp))
+        # Tampered code may follow a different path: any parked
+        # recording for this position is stale by policy too.
+        self._pending.pop((head, t.sp), None)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record("trace_invalidate", tier="page", head=t.head, n=t.n)
+
+    # ------------------------------------------------------------------
+    # Trace construction (record, then compile)
+    # ------------------------------------------------------------------
+
+    def _blacklist(self, key: Tuple[int, int]) -> None:
+        no = self._no_trace
+        if len(no) >= _COUNTER_LIMIT:
+            no.clear()
+        no.add(key)
+
+    def _finalize_recording(self) -> None:
+        """Park the recorded block-entry path for deferred compilation."""
+        path = self._recording
+        key = self._record_key
+        closed = self._record_closed
+        self._recording = None
+        self._record_closed = False
+        if path is None or len(path) < 2:
+            # A path that never grew past its head has nothing to hoist;
+            # blacklist so this position isn't re-recorded every
+            # execution.
+            if path:
+                self._blacklist(key)
+            return
+        pending = self._pending
+        if len(pending) >= _COUNTER_LIMIT:
+            pending.clear()
+        pending[key] = [
+            path, closed, 1 + len(path) // PENDING_CONFIRM_DIVISOR,
+        ]
+
+    def _compile_pending(self, key: Tuple[int, int], pending: list) -> None:
+        """Compile a parked path whose key has proven it re-executes."""
+        path, closed = pending[0], pending[1]
+        t = self._compile_path(path, key[1], closed)
+        if t is None:
+            self._blacklist(key)
+        else:
+            self._remember(t)
+            rec = get_recorder()
+            if rec.enabled:
+                rec.record(
+                    "trace_compile", head=t.head, blocks=len(t.starts),
+                    n=t.n,
+                )
+
+    def _link_of(
+        self, end: int, insns, successor: int
+    ) -> Optional[Tuple[str, int]]:
+        """How the block ending at ``end`` linked to ``successor``.
+
+        Validates that the block's final instruction *can* reach the
+        recorded successor and classifies the link; ``None`` truncates
+        the path here (unlinkable terminator, or a successor the final
+        instruction cannot explain — e.g. the recording was broken by
+        an intervening trace dispatch).
+        """
+        last = insns[-1]
+        m = last.mnemonic
+        ops = last.operands
+        if m == "ret":
+            if ops and not isinstance(ops[0], Imm):
+                return None
+            # Always linkable: the run-time guard compares the popped
+            # target against the recorded successor.
+            return ("ret", successor)
+        if m == "jmp":
+            op = ops[0] if ops else None
+            if (
+                isinstance(op, Rel)
+                and op.target is not None
+                and (op.target & MASK32) == successor
+            ):
+                return ("jmp", successor)
+            return None
+        if m == "call":
+            op = ops[0] if ops else None
+            if (
+                isinstance(op, Rel)
+                and op.target is not None
+                and (op.target & MASK32) == successor
+            ):
+                return ("call", successor)
+            return None
+        if m in CONDITIONAL_JUMPS:
+            op = ops[0] if ops else None
+            if not (isinstance(op, Rel) and op.target is not None):
+                return None
+            if (op.target & MASK32) == successor:
+                return ("jcc_taken", successor)
+            if successor == end:
+                return ("jcc_fall", end)
+            return None
+        if m in CONTROL_FLOW or m not in DISPATCH:
+            return None  # hlt/int/retf/indirect/unimplemented
+        if successor == end:
+            return ("fall", end)  # block capped by size: plain fallthrough
+        return None
+
+    def _compile_path(
+        self, path: List[int], sp: int, closed: bool
+    ) -> Optional[CompiledTrace]:
+        """Compile a recorded block-entry sequence; ``None`` if it
+        cannot grow past a single superblock (nothing to hoist).
+
+        The same block may appear more than once — ROP chains revisit
+        gadgets within one path — and each occurrence is emitted again
+        with its own (positional) link.  ``closed`` marks a path whose
+        final entry is the head re-entered at the head's esp: the real
+        blocks are ``path[:-1]`` and the last one links back to the
+        head, compiling a looping trace.
+        """
+        emu = self.emulator
+        mem = emu.memory
+        chain: List[Tuple[int, int, list, Optional[Tuple[str, int]]]] = []
+        total = 0
+        limit = len(path) - 1 if closed else len(path)
+        for index in range(limit):
+            eip = path[index]
+            try:
+                insns, end = self.blocks._decode_block(eip)
+            except BadFetch:
+                break
+            if not all(
+                mem.page_is_versioned(page << 12)
+                for page in range(eip >> 12, ((end - 1) >> 12) + 1)
+            ):
+                break  # nothing could ever invalidate stack-page code
+            if total + len(insns) > MAX_TRACE_INSNS and chain:
+                break
+            link = (
+                self._link_of(end, insns, path[index + 1])
+                if index + 1 < len(path)
+                else None
+            )
+            chain.append((eip, end, insns, link))
+            total += len(insns)
+            if link is None:
+                break
+        if not chain:
+            return None
+        looping = (
+            closed and len(chain) == limit and chain[-1][3] is not None
+        )
+        if len(chain) < 2 and not looping:
+            return None
+        if not looping and chain[-1][3] is not None:
+            # The loop above ended by exhausting ``path`` with a live
+            # link; the last block is terminal regardless.
+            start, end, insns, _ = chain[-1]
+            chain[-1] = (start, end, insns, None)
+        return self._generate(path[0], sp, chain, looping)
+
+    # ------------------------------------------------------------------
+    # Code generation
+    # ------------------------------------------------------------------
+
+    def _generate(
+        self, head: int, sp: int, chain, looping: bool
+    ) -> CompiledTrace:
+        """Emit, compile and exec the trace's specialized source.
+
+        Per-instruction emission is delegated to the block engine's
+        specializer (identical semantics by construction); only the
+        *link points* — each non-terminal block's final instruction —
+        get trace-specific emission.  The self-modifying-store range
+        check covers the whole trace envelope, and the generic-store
+        version check re-probes every page the trace spans.
+
+        A ``looping`` trace wraps the body in ``while True`` with a
+        seam that charges the completed iteration's steps/cycles and
+        returns (leaving eip at the head) when another full iteration
+        would cross the step budget — the dispatch loop then
+        single-steps to the exact ``StepLimitExceeded`` boundary, just
+        like it does for straight traces.
+
+        Duplicate blocks make the exception handler's prefix lookup
+        ambiguous: ``_NEXTS.index(_eip)`` finds the *first* occurrence.
+        A checkpoint assignment (``_ck = <flat index>``) is therefore
+        emitted at the start of any block occurrence whose successor
+        addresses collide with earlier ones, and the handler searches
+        from the live checkpoint (``index(_eip, _ck)``).  Between
+        consecutive checkpoints every successor address is unique —
+        any colliding block opens its own checkpoint region — so the
+        search resolves to the faulting occurrence exactly.
+        """
+        be = self.blocks
+        mem = self.emulator.memory
+        env_start = min(start for start, _, _, _ in chain)
+        env_end = max(end for _, end, _, _ in chain)
+
+        body: List[str] = []
+        nexts: List[int] = []
+        cums: List[int] = []
+        handlers = []
+        insn_objs = []
+        mnems: List[str] = []
+        total_cost = 0
+        i = 0
+        seen_nexts: Set[int] = set()
+        has_ckpt = False
+        last_index = len(chain) - 1
+        for bi, (start, end, insns, link) in enumerate(chain):
+            terminal = bi == last_index
+            block_nexts = []
+            addr = start
+            for insn in insns:
+                addr += insn.length
+                block_nexts.append(addr)
+            if not seen_nexts.isdisjoint(block_nexts):
+                # A duplicate occurrence: checkpoint so the exception
+                # handler attributes faults to *this* occurrence.
+                body.append(f"_ck = {i}")
+                has_ckpt = True
+            seen_nexts.update(block_nexts)
+            # Fused gadget epilogue: a maximal ``pop r32`` run ending in
+            # ``ret`` collapses to one segment probe + batch loads.  The
+            # ret must either carry a ret link (guarded continuation)
+            # or be the terminal instruction of a straight trace.
+            ret_link = (
+                link
+                if link is not None and link[0] == "ret"
+                and not (terminal and not looping)
+                else None
+            )
+            group_start = None
+            final_j = len(insns) - 1
+            if FUSE_RET_GROUPS and final_j >= 1 and \
+                    insns[final_j].mnemonic == "ret" and (
+                not insns[final_j].operands
+                or isinstance(insns[final_j].operands[0], Imm)
+            ) and (ret_link is not None or (terminal and not looping)):
+                g = final_j
+                while g > 0:
+                    p = insns[g - 1]
+                    if (
+                        p.mnemonic == "pop"
+                        and len(p.operands) == 1
+                        and _is_r32(p.operands[0])
+                        and p.operands[0].code != 4  # pop esp: special
+                    ):
+                        g -= 1
+                    else:
+                        break
+                if g < final_j:
+                    group_start = g
+            addr = start
+            for j, insn in enumerate(insns):
+                nxt = addr + insn.length
+                addr = nxt
+                total_cost += cost_of(insn)
+                nexts.append(nxt)
+                cums.append(total_cost)
+                handlers.append(DISPATCH.get(insn.mnemonic, _unimplemented))
+                insn_objs.append(insn)
+                mnems.append(insn.mnemonic)
+                if TRACE_SOURCE_COMMENTS:
+                    body.append(f"# {nxt - insn.length:#x}: {insn.text()}")
+                if group_start is not None and j >= group_start:
+                    i += 1  # metadata recorded; emission is fused below
+                    continue
+                if j < final_j:
+                    if insn.mnemonic in CONDITIONAL_JUMPS:
+                        # Interior side exit (block construction
+                        # guarantees a resolvable Rel target here).
+                        self._emit_exit_jcc(body, i, insn, total_cost)
+                    else:
+                        be._emit_insn(
+                            body, i, insn, nxt=nxt, cum=total_cost,
+                            start=env_start, end=env_end, final=False,
+                        )
+                elif terminal and not looping:
+                    be._emit_insn(
+                        body, i, insn, nxt=nxt, cum=total_cost,
+                        start=env_start, end=env_end, final=True,
+                    )
+                else:
+                    # A link point — for a looping trace the terminal
+                    # block's link closes the cycle back to the head.
+                    self._emit_link(
+                        body, i, insn, nxt, total_cost, link,
+                        env_start, env_end,
+                    )
+                i += 1
+            if group_start is not None:
+                gi0 = i - (len(insns) - group_start)
+                self._emit_fused_ret(
+                    body, gi0, insns[group_start:],
+                    nexts[gi0:], cums[gi0:], ret_link,
+                    env_start, env_end,
+                )
+
+        pages = sorted({
+            page
+            for start, end, _, _ in chain
+            for page in range(start >> 12, ((end - 1) >> 12) + 1)
+        })
+        version_checks = " or ".join(
+            f"_VG({page}, 0) != {mem._versions.get(page, 0)}" for page in pages
+        )
+        body = [
+            line.replace("__VERSION_CHECK__", version_checks) for line in body
+        ]
+
+        name = f"_trace_{head:x}"
+        lines = [
+            f"def {name}(emu, cpu, mem):",
+            "    regs = cpu.regs",
+            "    try:",
+        ]
+        if looping:
+            # Iterate in place; the seam charges each completed
+            # iteration and bails (eip back at the head) when another
+            # full iteration would cross the budget.  Prior iterations
+            # are already charged, so the exception handler's
+            # prefix accounting stays iteration-local and exact.
+            lines.append("        while True:")
+            if has_ckpt:
+                body.insert(0, "_ck = 0")  # reset each iteration
+            lines.extend("            " + line for line in body)
+            lines.extend([
+                f"            cpu.eip = {head}",
+                f"            emu.steps += {i}",
+                f"            emu.cycles += {total_cost}",
+                f"            if emu.steps + {i} > emu.max_steps:",
+                "                return",
+            ])
+        else:
+            if has_ckpt:
+                body.insert(0, "_ck = 0")
+            lines.extend("        " + line for line in body)
+        index_expr = "_NEXTS.index(_eip, _ck)" if has_ckpt else \
+            "_NEXTS.index(_eip)"
+        lines.extend([
+            "    except BaseException:",
+            "        _eip = cpu.eip",
+            "        if _eip in _NS:",  # false only for async interrupts
+            f"            _i = {index_expr}",
+            "            emu.steps += _i + 1",
+            "            emu.cycles += _CUM[_i]",
+            "        raise",
+        ])
+        if not looping:
+            lines.extend([
+                f"    emu.steps += {i}",
+                f"    emu.cycles += {total_cost}",
+            ])
+        source = "\n".join(lines)
+        namespace = dict(_SHARED_NS)
+        namespace.update(
+            _I=tuple(insn_objs),
+            _H=tuple(handlers),
+            _NEXTS=tuple(nexts),
+            _NS=frozenset(nexts),
+            _CUM=tuple(cums),
+            # Per-emulator bindings: the engine is bound to one Memory,
+            # whose segment table and version dict are never reassigned.
+            _SG=mem._seg_by_page.get,
+            _VS=mem._versions,
+            _VG=mem._versions.get,
+        )
+        exec(compile(source, f"<trace {head:#x}>", "exec"), namespace)
+        return CompiledTrace(
+            head,
+            sp,
+            n=i,
+            fn=namespace[name],
+            pages=tuple((page, mem._versions.get(page, 0)) for page in pages),
+            # Duplicate occurrences add no new bytes: dedupe so the
+            # tamper-watch overlap scan stays proportional to distinct
+            # blocks.
+            ranges=tuple(dict.fromkeys(
+                (start, end) for start, end, _, _ in chain
+            )),
+            starts=tuple(start for start, _, _, _ in chain),
+            epoch=mem.write_epoch,
+            mnems=tuple(mnems),
+            looping=looping,
+        )
+
+    # -- link-point emission -------------------------------------------
+    #
+    # Side exits return 2 (counted as side_exit_fallbacks by the loop);
+    # the block specializer's invalidation aborts return 1.  Both charge
+    # the exact executed prefix and leave cpu.eip at the resume point.
+
+    @staticmethod
+    def _emit_exit_jcc(body, i, insn, cum) -> None:
+        """A jcc whose taken edge leaves the trace: guard + side exit."""
+        target = insn.operands[0].target & MASK32
+        body.append(f"if {_CC_EXPR[insn.mnemonic[1:]]}:")
+        body.append(f"    cpu.eip = {target}")
+        body.append(f"    emu.steps += {i + 1}")
+        body.append(f"    emu.cycles += {cum}")
+        body.append("    return 2")
+
+    def _emit_link(self, body, i, insn, nxt, cum, link, env_start, env_end):
+        kind, target = link
+        if kind == "jmp":
+            return  # static target: the next block's code follows inline
+        if kind == "call":
+            # Blocks' call emission minus the final eip assignment — the
+            # callee's first instruction is emitted right after.
+            body.append(f"cpu.eip = {nxt}")
+            body.append("_s = (regs[4] - 4) & M")
+            body.append("regs[4] = _s")
+            self.blocks._store32(body, "_s", str(nxt))
+            body.append("_r = emu._ras")
+            body.append("if len(_r) >= RASD:")
+            body.append("    del _r[0]")
+            body.append(f"_r.append({nxt})")
+            return
+        if kind == "jcc_fall":
+            # Linked along the fall-through: the taken edge side-exits.
+            self._emit_exit_jcc(body, i, insn, cum)
+            return
+        if kind == "jcc_taken":
+            # Linked along the taken edge: falling through side-exits.
+            body.append(f"if not ({_CC_EXPR[insn.mnemonic[1:]]}):")
+            body.append(f"    cpu.eip = {nxt}")
+            body.append(f"    emu.steps += {i + 1}")
+            body.append(f"    emu.cycles += {cum}")
+            body.append("    return 2")
+            return
+        if kind == "ret":
+            self._emit_link_ret(body, i, insn, nxt, cum, target)
+            return
+        # "fall": a size-capped block; plain non-final emission.
+        self.blocks._emit_insn(
+            body, i, insn, nxt=nxt, cum=cum,
+            start=env_start, end=env_end, final=False,
+        )
+
+    def _emit_link_ret(self, body, i, insn, nxt, cum, target) -> None:
+        """Full genuine ret semantics, then guard the popped target
+        against the recorded successor.  RAS and mispredict accounting
+        are identical to blocks' ret emission."""
+        extra = 4 + (insn.operands[0].value if insn.operands else 0)
+        body.append(f"cpu.eip = {nxt}")
+        body.append("_s = regs[4]")
+        self.blocks._load32(body, "_s", "_t")
+        body.append(f"regs[4] = (_s + {extra}) & M")
+        body.append("_r = emu._ras")
+        body.append("if _r and _r[-1] == _t:")
+        body.append("    _r.pop()")
+        body.append("else:")
+        body.append("    if _r:")
+        body.append("        _r.pop()")
+        body.append("    emu.ret_mispredicts += 1")
+        body.append("    emu.cycles += RMP")
+        body.append(f"if _t != {target}:")
+        body.append("    cpu.eip = _t")
+        body.append(f"    emu.steps += {i + 1}")
+        body.append(f"    emu.cycles += {cum}")
+        body.append("    return 2")
+
+    def _emit_fused_ret(
+        self, body, i0, insns, nxts, cums, link, env_start, env_end
+    ) -> None:
+        """Fused gadget epilogue: ``pop r32`` run + ``ret`` as one group.
+
+        ROP-chain gadgets are almost entirely ``pop``s followed by
+        ``ret`` — consecutive dword loads from the stack.  When the
+        whole window lies inside one fast segment, the group needs a
+        single segment probe, a single esp writeback and no
+        intermediate ``cpu.eip`` updates (nothing in the group can
+        fault after the bounds check, so no fault attribution state is
+        needed until the final target is known).  Counters stay
+        bit-identical: ``fast_loads`` advances by the same ``k+1`` the
+        per-instruction loads would have added, and the RAS/mispredict
+        dance is unchanged.
+
+        The else-branch replays the exact per-instruction emission, so
+        a window that straddles segments (or misses the fast path for
+        any reason) executes precisely the cold-path semantics,
+        including per-load ``read_u32`` fallbacks and fault handling.
+        ``link`` is the guarded ret link, or ``None`` when the group
+        ends the trace (terminal ret).
+        """
+        be = self.blocks
+        k = len(insns) - 1
+        ret = insns[-1]
+        extra = 4 + (ret.operands[0].value if ret.operands else 0)
+        target = link[1] if link is not None else None
+        body.append("_s = regs[4]")
+        body.append("_g = _SG(_s >> 12)")
+        body.append(
+            f"if _g is not None and (_o := _s - _g.base) + {4 * k} "
+            "<= _g.limit:"
+        )
+        fast = [f"mem.fast_loads += {k + 1}"]
+        for idx in range(k):
+            off = f" + {4 * idx}" if idx else ""
+            fast.append(
+                f"regs[{insns[idx].operands[0].code}] = "
+                f"_U32U(_g.data, _o{off})[0]"
+            )
+        fast.append(f"_t = _U32U(_g.data, _o + {4 * k})[0]")
+        fast.append(f"regs[4] = (_s + {4 * k + extra}) & M")
+        fast.append("cpu.eip = _t")
+        fast.append("_r = emu._ras")
+        fast.append("if _r and _r[-1] == _t:")
+        fast.append("    _r.pop()")
+        fast.append("else:")
+        fast.append("    if _r:")
+        fast.append("        _r.pop()")
+        fast.append("    emu.ret_mispredicts += 1")
+        fast.append("    emu.cycles += RMP")
+        if target is not None:
+            fast.append(f"if _t != {target}:")
+            fast.append(f"    emu.steps += {i0 + k + 1}")
+            fast.append(f"    emu.cycles += {cums[-1]}")
+            fast.append("    return 2")
+        body.extend("    " + line for line in fast)
+        slow = []
+        for idx in range(k):
+            be._emit_insn(
+                slow, i0 + idx, insns[idx], nxt=nxts[idx], cum=cums[idx],
+                start=env_start, end=env_end, final=False,
+            )
+        if target is not None:
+            self._emit_link_ret(
+                slow, i0 + k, ret, nxts[-1], cums[-1], target
+            )
+        else:
+            be._emit_insn(
+                slow, i0 + k, ret, nxt=nxts[-1], cum=cums[-1],
+                start=env_start, end=env_end, final=True,
+            )
+        body.append("else:")
+        body.extend("    " + line for line in slow)

@@ -1,0 +1,257 @@
+"""The trace-linking engine: promotion and deferred compilation, side
+exits, invalidation, generation rotation and fused ret-group parity."""
+
+import pytest
+
+import repro.emu.traces as traces_mod
+from repro.binary import BinaryImage, Perm, Section
+from repro.emu import Emulator
+from repro.x86 import Assembler, EAX, EBX, ECX, EDX, ESI, ESP, Imm
+
+BASE = 0x1000
+DATA = 0x8000
+
+ENGINES = ("step", "block", "trace")
+
+
+def make_image(build, data=bytes(256)):
+    a = Assembler(base=BASE)
+    build(a)
+    a.ret()
+    img = BinaryImage("t")
+    img.add_section(Section(".text", BASE, a.assemble(), Perm.RX))
+    img.add_section(Section(".data", DATA, data, Perm.RW))
+    return img
+
+
+def build_loop(a, n=50):
+    # Trace-shaped loop: superblocks terminate at jmp/call/ret and run
+    # *through* conditional jumps, so the back edge must be a ``jmp``
+    # (a jcc back edge side-exits mid-block, which truncates any
+    # recording).  The ``je`` exit stays interior: while the loop is
+    # hot it falls through (the block completes) and the final
+    # iteration's taken ``je`` is a genuine trace side exit.
+    a.mov(ECX, Imm(n, 32))
+    a.mov(EAX, 0)
+    a.label("top")
+    a.add(EAX, ECX)
+    a.jmp("mid")
+    a.label("mid")
+    a.dec(ECX)
+    a.je("done")
+    a.jmp("top")
+    a.label("done")
+
+
+def call_all(img, args=(), max_steps=1_000_000):
+    """Call BASE under all three engines; assert identical state."""
+    out = {}
+    for engine in ENGINES:
+        emu = Emulator(img, max_steps=max_steps, engine=engine)
+        value = emu.call_function(BASE, list(args))
+        out[engine] = (value, emu.steps, emu.cycles, emu.ret_mispredicts)
+    assert all(sig == out["step"] for sig in out.values()), out
+    return out["step"]
+
+
+def test_loop_matches_step_engine():
+    img = make_image(lambda a: build_loop(a, 200))
+    assert call_all(img)[0] == sum(range(1, 201))
+    emu = Emulator(img, max_steps=1_000_000, engine="trace")
+    emu.call_function(BASE)
+    # the loop promoted, recorded, confirmed and compiled within one
+    # call; a looping trace iterates in place, so one dispatch retires
+    # hundreds of instructions
+    assert emu.traces.compiled >= 1
+    assert emu.traces.hits >= 1
+    assert emu.traces.retired > 500
+    # the final iteration's taken `je` is an in-trace guard failure
+    assert emu.traces.side_exit_fallbacks >= 1
+
+
+def test_promotion_requires_threshold_and_confirmation():
+    # 9 iterations: the head barely crosses TRACE_HOT_THRESHOLD (8) and
+    # the recording/confirmation dispatches eat the rest — no compile.
+    emu = Emulator(
+        make_image(lambda a: build_loop(a, 9)),
+        max_steps=1_000_000, engine="trace",
+    )
+    emu.call_function(BASE)
+    assert emu.traces.compiled == 0
+    # 64 iterations: promotion + recording + deferred-compile proof all
+    # complete, and the trace then serves the remaining iterations.
+    emu = Emulator(
+        make_image(lambda a: build_loop(a, 64)),
+        max_steps=1_000_000, engine="trace",
+    )
+    emu.call_function(BASE)
+    assert emu.traces.compiled >= 1
+    assert emu.traces.hits >= 1
+
+
+def test_deferred_compile_demands_reuse_proof(monkeypatch):
+    # Divisor 1 makes the proof requirement 1 + len(path) re-dispatches;
+    # a 14-iteration loop promotes and records but never proves enough
+    # reuse, so the path stays parked and nothing is compiled.
+    monkeypatch.setattr(traces_mod, "PENDING_CONFIRM_DIVISOR", 1)
+    emu = Emulator(
+        make_image(lambda a: build_loop(a, 14)),
+        max_steps=1_000_000, engine="trace",
+    )
+    emu.call_function(BASE)
+    assert emu.traces.compiled == 0
+    assert emu.traces._pending  # recorded path parked, awaiting proof
+    # enough further executions convert the parked path into a trace
+    emu.call_function(BASE)
+    assert emu.traces.compiled >= 1
+    assert not emu.traces._pending
+
+
+def test_cold_branch_direction_side_exits():
+    # The first 100 iterations fall through the `jle` (the compiled
+    # trace's hot direction); once ecx drops to 100 the guard on that
+    # interior jcc fails every iteration: side exit, block-engine
+    # fallback at the actual target.
+    def build(a):
+        a.mov(ECX, Imm(200, 32))
+        a.mov(EAX, 0)
+        a.label("top")
+        a.add(EAX, ECX)
+        a.jmp("mid")
+        a.label("mid")
+        a.cmp(ECX, Imm(100, 32))
+        a.jle("rare")
+        a.dec(ECX)
+        a.je("done")
+        a.jmp("top")
+        a.label("rare")
+        a.add(EAX, Imm(1000, 32))
+        a.dec(ECX)
+        a.je("done")
+        a.jmp("top")
+        a.label("done")
+
+    img = make_image(build)
+    assert call_all(img)[0] == sum(range(1, 201)) + 100 * 1000
+    emu = Emulator(img, max_steps=1_000_000, engine="trace")
+    emu.call_function(BASE)
+    assert emu.traces.compiled >= 1
+    assert emu.traces.side_exit_fallbacks >= 50
+
+
+def test_code_write_invalidates_cached_traces():
+    a = Assembler(base=BASE)
+    build_loop(a)
+    a.ret()
+    a.raw(b"\xcc")  # never-executed pad byte: the tamper target
+    img = BinaryImage("t")
+    img.add_section(Section(".text", BASE, a.assemble(), Perm.RX))
+    emu = Emulator(img, max_steps=1_000_000, engine="trace")
+    first = emu.call_function(BASE)
+    compiled = emu.traces.compiled
+    assert compiled >= 1
+    # Tamper the pad byte: behaviour unchanged, but the code page's
+    # version bumps, so every trace spanning it must be dropped and the
+    # head's hotness reset — the path re-records before recompiling.
+    emu.memory.write_u8(BASE + img.text.size - 1, 0x90)
+    assert emu.call_function(BASE) == first
+    assert emu.traces.invalidated >= 1
+    assert emu.traces.compiled > compiled
+
+
+def test_trace_cache_generations_rotate(monkeypatch):
+    monkeypatch.setattr(traces_mod, "TRACE_CACHE_GENERATION", 1)
+    img = make_image(lambda a: build_loop(a, 200))
+    emu = Emulator(img, max_steps=1_000_000, engine="trace")
+    assert emu.call_function(BASE) == sum(range(1, 201))
+    # generation size 1 forces rotation on every remember; survivors are
+    # promoted from the old generation instead of being recompiled.
+    assert emu.traces.compiled < 10
+    assert emu.traces.retired > 500
+
+
+def test_stack_code_is_never_traced():
+    # Code on an unversioned page has no write counter: nothing could
+    # ever invalidate a trace over it, so no trace may be built.
+    code = Assembler(base=0x00BC_0000)
+    code.mov(EAX, Imm(7, 32))
+    code.ret()
+    img = make_image(build_loop)
+    emu = Emulator(img, max_steps=1_000_000, engine="trace")
+    assert not emu.memory.page_is_versioned(0x00BC_0000)
+    emu.memory.write(0x00BC_0000, code.assemble())
+    for _ in range(traces_mod.TRACE_HOT_THRESHOLD * 3):
+        assert emu.call_function(0x00BC_0000) == 7
+    assert 0x00BC_0000 not in emu.traces._cache
+    assert 0x00BC_0000 not in emu.traces._old
+
+
+# ----------------------------------------------------------------------
+# ROP-chain workload: the fused pop*+ret epilogue
+# ----------------------------------------------------------------------
+
+def _chain_image():
+    """A gadget chain dispatched from a stack pivot into .data — the
+    paper's verification-chain shape, re-run enough times to trace."""
+    a = Assembler(base=BASE)
+    a.mov(ESI, ESP)             # save the real stack
+    a.mov(ECX, Imm(40, 32))
+    a.label("top")
+    a.mov(ESP, Imm(DATA, 32))   # pivot onto the prepared chain
+    a.ret()                     # dispatch gadget 1
+    a.label("back")             # final gadget returns here
+    a.dec(ECX)
+    a.jne("top")
+    a.mov(ESP, ESI)             # restore the real stack
+    a.mov(EAX, EBX)
+    a.ret()
+    a.label("g1")               # pop ebx; ret
+    a.pop(EBX)
+    a.ret()
+    a.label("g2")               # pop edx; pop eax; ret
+    a.pop(EDX)
+    a.pop(EAX)
+    a.ret()
+
+    code = a.assemble()
+    g1 = a.address_of("g1")
+    g2 = a.address_of("g2")
+    back = a.address_of("back")
+    chain = b"".join(
+        v.to_bytes(4, "little")
+        for v in (g1, 0x11111111, g2, 0x22222222, 0x33333333,
+                  g1, 0x44444444, back)
+    )
+    img = BinaryImage("t")
+    img.add_section(Section(".text", BASE, code, Perm.RX))
+    img.add_section(Section(".data", DATA, chain + bytes(64), Perm.RW))
+    return img
+
+
+@pytest.mark.parametrize("fused", [True, False])
+def test_gadget_chain_identical_across_engines(monkeypatch, fused):
+    monkeypatch.setattr(traces_mod, "FUSE_RET_GROUPS", fused)
+    img = _chain_image()
+    value = call_all(img)[0]
+    assert value == 0x44444444  # ebx after the last pop gadget
+    emu = Emulator(img, max_steps=1_000_000, engine="trace")
+    emu.call_function(BASE)
+    assert emu.traces.compiled >= 1
+    assert emu.traces.hits >= 1
+
+
+def test_fused_and_unfused_chain_signatures_match(monkeypatch):
+    """FUSE_RET_GROUPS is pure codegen strategy: every observable —
+    result, steps, cycles, mispredicts, memory fast-path counters —
+    must be bit-identical either way."""
+    img = _chain_image()
+    sigs = {}
+    for fused in (True, False):
+        monkeypatch.setattr(traces_mod, "FUSE_RET_GROUPS", fused)
+        emu = Emulator(img, max_steps=1_000_000, engine="trace")
+        value = emu.call_function(BASE)
+        sigs[fused] = (
+            value, emu.steps, emu.cycles, emu.ret_mispredicts,
+            emu.memory.fast_loads, emu.memory.fast_stores,
+        )
+    assert sigs[True] == sigs[False]

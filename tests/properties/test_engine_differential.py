@@ -1,12 +1,13 @@
-"""Differential property: the block-compiling engine is observationally
+"""Differential property: every compiled engine is observationally
 identical to the reference step interpreter.
 
 Randomly generated corpus programs (and their protected variants) must
 produce the exact same ``RunResult`` — exit status, step count, cycle
-count, stdout bytes and fault — under both engines.  The adversarial
-cases ride along: the Wurster code-view overlay and mid-run
-tamper/restore of mapped code, both of which must invalidate any
-superblocks compiled over the affected bytes.
+count, stdout bytes and fault — under all engines in
+:data:`repro.emu.ENGINES` (step, block, trace).  The adversarial cases
+ride along: the Wurster code-view overlay and mid-run tamper/restore
+of mapped code, both of which must invalidate any superblocks or
+linked traces compiled over the affected bytes.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -22,11 +23,10 @@ from repro.corpus.program import (
     RODATA_BASE,
     call_const,
 )
-from repro.emu import Emulator, TamperWatch
+from repro.emu import ENGINES, Emulator, TamperWatch
 from repro.ropc import ir
 from repro.x86.registers import EAX, EBX, ECX, EDI, EDX, ESI
 
-ENGINES = ("step", "block")
 MAX_STEPS = 2_000_000
 
 
@@ -108,18 +108,16 @@ def _run_signature(image, engine):
 
 @settings(max_examples=8, deadline=None)
 @given(st.integers(0, 2**31))
-def test_random_programs_identical_under_both_engines(seed):
+def test_random_programs_identical_under_all_engines(seed):
     program = _make_program(seed)
-    step_sig = _run_signature(program.image, "step")
-    block_sig = _run_signature(program.image, "block")
-    assert step_sig == block_sig
+    sigs = {e: _run_signature(program.image, e) for e in ENGINES}
+    assert all(sig == sigs["step"] for sig in sigs.values()), sigs
 
     protected = _protect(program)
-    p_step = _run_signature(protected.image, "step")
-    p_block = _run_signature(protected.image, "block")
-    assert p_step == p_block
+    p_sigs = {e: _run_signature(protected.image, e) for e in ENGINES}
+    assert all(sig == p_sigs["step"] for sig in p_sigs.values()), p_sigs
     # the chain rewrite must also preserve behaviour (same stdout)
-    assert p_step[3] == step_sig[3]
+    assert p_sigs["step"][3] == sigs["step"][3]
 
 
 # ----------------------------------------------------------------------
@@ -134,7 +132,7 @@ def _wurster_signature(protected, patch, engine):
 
 @settings(max_examples=4, deadline=None)
 @given(st.integers(0, 2**31))
-def test_wurster_patched_runs_identical_under_both_engines(seed):
+def test_wurster_patched_runs_identical_under_all_engines(seed):
     protected = _protect(_make_program(seed))
     image = protected.image
     target = next(
@@ -143,12 +141,11 @@ def test_wurster_patched_runs_identical_under_both_engines(seed):
         if image.section_at(addr).name == ".text"
     )
     patch = corrupt_byte(image, target)
-    step_sig = _wurster_signature(protected, patch, "step")
-    block_sig = _wurster_signature(protected, patch, "block")
-    assert step_sig == block_sig
+    sigs = {e: _wurster_signature(protected, patch, e) for e in ENGINES}
+    assert all(sig == sigs["step"] for sig in sigs.values()), sigs
     # and the chain must actually trip over the tampered gadget
     clean = _run_signature(image, "step")
-    assert step_sig != clean
+    assert sigs["step"] != clean
 
 
 # ----------------------------------------------------------------------
@@ -165,11 +162,11 @@ def _watched_signature(image, ranges, engine):
 
 @settings(max_examples=4, deadline=None)
 @given(st.integers(0, 2**31))
-def test_tamper_watch_stamps_identical_under_both_engines(seed):
+def test_tamper_watch_stamps_identical_under_all_engines(seed):
     """The detection-latency stamps (first execution of tampered bytes)
-    must be byte-identical across engines: the block engine single-steps
-    through watch-overlapping superblocks, so the stamp always comes
-    from the same per-step accounting."""
+    must be byte-identical across engines: the block and trace engines
+    single-step through watch-overlapping bodies, so the stamp always
+    comes from the same per-step accounting."""
     protected = _protect(_make_program(seed))
     image = protected.image
     target = next(
@@ -182,10 +179,9 @@ def test_tamper_watch_stamps_identical_under_both_engines(seed):
     patch.apply(tampered)
     ranges = [(patch.vaddr, patch.vaddr + len(patch.new))]
 
-    step_sig, step_stamp = _watched_signature(tampered, ranges, "step")
-    block_sig, block_stamp = _watched_signature(tampered, ranges, "block")
-    assert step_sig == block_sig
-    assert step_stamp == block_stamp
+    outcomes = {e: _watched_signature(tampered, ranges, e) for e in ENGINES}
+    step_sig, step_stamp = outcomes["step"]
+    assert all(o == outcomes["step"] for o in outcomes.values()), outcomes
     # the tampered gadget is on the chain's dispatch path: it executes
     assert step_stamp[1] is not None
     assert step_stamp[1] <= step_sig[2]  # stamped no later than run end
@@ -201,6 +197,8 @@ SEED = 0xD1FF
 def _advance(emulator, n):
     if emulator.engine == "block":
         emulator.blocks.run_steps(n)
+    elif emulator.engine == "trace":
+        emulator.traces.run_steps(n)
     else:
         for _ in range(n):
             emulator.step()
@@ -237,7 +235,7 @@ def test_midrun_tamper_of_cold_code_invalidates_and_matches():
         results[engine] = (phases, sig)
         assert sig is not None, (engine, phases)
         assert sig == baseline  # cold-code tamper is behaviour-neutral
-    assert results["step"] == results["block"]
+    assert all(r == results["step"] for r in results.values()), results
 
     # the block engine must have dropped blocks compiled over that page
     emulator, _, _ = _tamper_restore_run(program, target, 0x90, "block")
@@ -254,4 +252,4 @@ def test_midrun_tamper_of_hot_code_matches():
     for engine in ENGINES:
         _, phases, sig = _tamper_restore_run(program, target, 0x90, engine)
         outcomes[engine] = (phases, sig)
-    assert outcomes["step"] == outcomes["block"]
+    assert all(o == outcomes["step"] for o in outcomes.values()), outcomes
