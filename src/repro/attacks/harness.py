@@ -192,25 +192,33 @@ def score_run(
         "attacks.detected" if outcome.detected else "attacks.undetected"
     ).inc()
     if metrics.enabled:
+        # The aggregate histogram stays unlabeled; per attack x rule
+        # cells are labeled series on the same family, so exporters see
+        # one family and per-cell sums reconcile against the aggregate.
+        cell = (
+            {"attack": attack_name, "rule": rule} if rule is not None else None
+        )
         ctd = outcome.cycles_to_detection
         if ctd is not None:
             metrics.histogram(
                 "attacks.cycles_to_detection", buckets=DEFAULT_CYCLE_BUCKETS
             ).observe(ctd)
-            if rule is not None:
+            if cell is not None:
                 metrics.histogram(
-                    f"attacks.cycles_to_detection.{attack_name}.{rule}",
+                    "attacks.cycles_to_detection",
                     buckets=DEFAULT_CYCLE_BUCKETS,
+                    labels=cell,
                 ).observe(ctd)
         ctc = outcome.cycles_to_corruption
         if ctc is not None:
             metrics.histogram(
                 "attacks.cycles_to_corruption", buckets=DEFAULT_CYCLE_BUCKETS
             ).observe(ctc)
-            if rule is not None:
+            if cell is not None:
                 metrics.histogram(
-                    f"attacks.cycles_to_corruption.{attack_name}.{rule}",
+                    "attacks.cycles_to_corruption",
                     buckets=DEFAULT_CYCLE_BUCKETS,
+                    labels=cell,
                 ).observe(ctc)
     recorder = get_recorder()
     if recorder.enabled:

@@ -16,14 +16,20 @@ Commands:
 * ``protect-all``               — protect the whole corpus, optionally
   in parallel (``--jobs``) and cached on disk (``--cache-dir``);
 * ``stats ARTIFACT...``         — human dashboard over any exported
-  telemetry artifact (metrics JSON, span/journal JSONL, Chrome trace).
+  telemetry artifact (metrics JSON, span/journal JSONL, Chrome trace);
+* ``top JOURNAL``               — live, self-refreshing dashboard over
+  another command's ``--journal-follow`` NDJSON stream.
 
 Observability: the heavier commands take ``--metrics FILE`` (metrics
 JSON), ``--trace FILE`` (span JSONL), ``--chrome-trace FILE``
 (Perfetto-loadable trace-event JSON), ``--prom FILE`` (Prometheus text
-format) and ``--journal FILE`` (flight-recorder event JSONL); ``-``
-writes any of them to stdout.  Exports run even when the command
-faults, so a crashing run still leaves its artifacts behind.
+format), ``--journal FILE`` (flight-recorder event JSONL) and
+``--journal-follow FILE`` (the same events streamed live as NDJSON);
+``-`` writes the on-exit exports to stdout.  ``--label KEY=VALUE``
+(repeatable) runs the command under a labeled telemetry context, and
+``--recorder-events N`` sizes the flight-recorder ring.  Exports run
+even when the command faults — and from SIGTERM/SIGINT handlers when
+it is killed — so a dying run still leaves its artifacts behind.
 """
 
 from __future__ import annotations
@@ -73,9 +79,33 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
         help="enable the flight recorder and export its event journal "
         "as JSONL on exit (written even if the command faults)",
     )
+    parser.add_argument(
+        "--journal-follow", metavar="FILE", default=None,
+        help="enable the flight recorder and stream events to FILE as "
+        "NDJSON while the command runs — point 'repro top FILE' at it "
+        "from another terminal for a live dashboard",
+    )
+    parser.add_argument(
+        "--recorder-events", type=int, default=None, metavar="N",
+        help="flight-recorder ring capacity (default: "
+        "$REPRO_RECORDER_EVENTS or 8192)",
+    )
+    parser.add_argument(
+        "--label", action="append", default=None, metavar="KEY=VALUE",
+        help="run under a labeled telemetry context; repeatable "
+        "(e.g. --label request=r1 --label tenant=acme) — exported "
+        "metrics and journal events carry the labels",
+    )
 
 
 def _export_telemetry(args, metrics, tracer) -> None:
+    if metrics.enabled and telemetry.get_recorder().enabled:
+        # Stamp the recorder's own sampled cost into the artifact, so
+        # exported metrics carry the price of their own collection.
+        from .telemetry.overhead import self_accounting
+
+        self_accounting(metrics)
+
     trace_path = getattr(args, "trace", None)
     if trace_path == "-":
         for event in tracer.to_events():
@@ -108,12 +138,100 @@ def _export_telemetry(args, metrics, tracer) -> None:
         metrics.write_json(metrics_path)
 
 
+def _parse_labels(pairs):
+    labels = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--label expects KEY=VALUE, got {pair!r}")
+        labels[key] = value
+    return labels
+
+
+def _start_journal_follow(args):
+    """Stream recorder events to ``--journal-follow FILE`` as NDJSON.
+
+    Line-buffered and written from a recorder subscription, so a
+    ``repro top`` tailing the file sees events within one line of them
+    happening.  Returns ``(recorder, callback, fh)`` for teardown.
+    """
+    path = getattr(args, "journal_follow", None)
+    if path is None:
+        return None
+    from .telemetry.metrics import _ensure_parent_dir
+
+    _ensure_parent_dir(path)
+    fh = open(path, "w", buffering=1)
+    recorder = telemetry.get_recorder()
+
+    def write(event):
+        fh.write(json.dumps(event, sort_keys=True))
+        fh.write("\n")
+
+    recorder.subscribe(write)
+    return recorder, write, fh
+
+
+def _stop_journal_follow(stream) -> None:
+    if stream is None:
+        return
+    recorder, write, fh = stream
+    recorder.unsubscribe(write)
+    # Trailing summary line tells a following `repro top` the run is
+    # over (it stops refreshing) and carries the drop count.
+    fh.write(json.dumps(recorder.summary(), sort_keys=True))
+    fh.write("\n")
+    fh.close()
+
+
+def _install_signal_dumps(args, metrics, tracer):
+    """Dump telemetry artifacts on SIGTERM/SIGINT, then die normally.
+
+    A ``finally`` covers exceptions but not signals — SIGTERM kills the
+    interpreter without unwinding, losing the journal exactly when it
+    is most wanted.  The handler exports everything the flags asked
+    for, restores the previous disposition and re-raises the signal so
+    exit codes stay honest.  Returns a restore callback.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    previous = {}
+
+    def handler(signum, _frame):
+        try:
+            _export_telemetry(args, metrics, tracer)
+        finally:
+            signal.signal(signum, previous.get(signum, signal.SIG_DFL))
+            signal.raise_signal(signum)
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):
+            pass
+
+    def restore():
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):
+                pass
+
+    return restore
+
+
 @contextlib.contextmanager
 def _telemetry_from_args(args):
     """Enable telemetry per the export flags and export on exit.
 
     Exports happen in a ``finally`` so a faulting command still leaves
-    its artifacts behind — the flight recorder's crash-dump semantics.
+    its artifacts behind, and additionally from SIGTERM/SIGINT handlers
+    so a killed run does too.  ``--label KEY=VALUE`` wraps the command
+    in a :class:`~repro.telemetry.TelemetryContext`, labeling every
+    metric sample and journal event it produces.
     """
     want_metrics = (
         getattr(args, "metrics", None) is not None
@@ -123,16 +241,31 @@ def _telemetry_from_args(args):
         getattr(args, "trace", None) is not None
         or getattr(args, "chrome_trace", None) is not None
     )
-    want_recorder = getattr(args, "journal", None) is not None
+    want_recorder = (
+        getattr(args, "journal", None) is not None
+        or getattr(args, "journal_follow", None) is not None
+    )
+    labels = _parse_labels(getattr(args, "label", None))
     if not (want_metrics or want_tracing or want_recorder):
         yield
         return
     with telemetry.telemetry_session(
-        metrics=want_metrics, tracing=want_tracing, recorder=want_recorder
+        metrics=want_metrics,
+        tracing=want_tracing,
+        recorder=want_recorder,
+        recorder_capacity=getattr(args, "recorder_events", None),
     ) as (metrics, tracer):
+        stream = _start_journal_follow(args) if want_recorder else None
+        restore_signals = _install_signal_dumps(args, metrics, tracer)
         try:
-            yield
+            if labels:
+                with telemetry.TelemetryContext(labels):
+                    yield
+            else:
+                yield
         finally:
+            restore_signals()
+            _stop_journal_follow(stream)
             _export_telemetry(args, metrics, tracer)
 
 
@@ -311,6 +444,19 @@ def _cmd_protect_all(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from .telemetry.top import run_top
+
+    run_top(
+        args.journal,
+        interval=args.interval,
+        duration=args.duration,
+        once=args.once,
+        window_seconds=args.window,
+    )
+    return 0
+
+
 def _cmd_attack(args) -> int:
     from .attacks import evaluate_patch_attack, evaluate_wurster_attack
     from .attacks.patching import corrupt_byte
@@ -438,6 +584,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="metrics JSON, span/journal JSONL, or Chrome trace files",
     )
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over a run's --journal-follow stream"
+    )
+    p_top.add_argument(
+        "journal", metavar="JOURNAL",
+        help="NDJSON journal file another repro command is writing via "
+        "--journal-follow (a finished journal renders post-hoc)",
+    )
+    p_top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                       help="refresh interval (default: 1s)")
+    p_top.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                       help="stop after this long (default: until the "
+                       "producing run finishes or Ctrl-C)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render one frame from the journal's current "
+                       "content and exit (no screen clearing)")
+    p_top.add_argument("--window", type=float, default=30.0, metavar="SECONDS",
+                       help="rolling-window width for rates and "
+                       "percentiles (default: 30s)")
+    p_top.set_defaults(func=_cmd_top)
 
     p_attack = sub.add_parser("attack", help="tamper demo on a protected program")
     p_attack.add_argument("program", choices=PROGRAM_NAMES)

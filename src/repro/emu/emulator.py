@@ -521,12 +521,21 @@ class Emulator:
             metrics.counter("emu.hot.trace.retired").inc(te.retired)
         hot = self.hotspots
         if hot is not None:
+            # One labeled family per hot-spot dimension: the mnemonic /
+            # address is a label, not a name suffix, so Prometheus sees
+            # one family and the cardinality guard bounds the series.
             for mnemonic, count in hot.top_mnemonics(16):
-                metrics.counter(f"emu.hot.mnemonic.{mnemonic}").inc(count)
+                metrics.counter(
+                    "emu.hot.mnemonic", labels={"mnemonic": mnemonic}
+                ).inc(count)
             for start, execs in hot.top_blocks(16):
-                metrics.counter(f"emu.hot.block.{start:#010x}").inc(execs)
+                metrics.counter(
+                    "emu.hot.block", labels={"addr": f"{start:#010x}"}
+                ).inc(execs)
             for head, execs in hot.top_traces(16):
-                metrics.counter(f"emu.hot.trace.head.{head:#010x}").inc(execs)
+                metrics.counter(
+                    "emu.hot.trace", labels={"head": f"{head:#010x}"}
+                ).inc(execs)
             if self._hotspots_auto:
                 # Counts were flushed into the registry; clear so
                 # repeated run() calls don't double-count.  A profiler

@@ -369,19 +369,20 @@ def _scan_section_task(task: dict) -> dict:
     the parent can merge counter samples deterministically, in section
     order, regardless of worker completion order.
     """
-    from ..telemetry import MetricsRegistry, set_metrics
+    from ..telemetry import MetricsRegistry, suspend_context, task_telemetry
 
     registry = MetricsRegistry(enabled=True)
-    previous = set_metrics(registry)
-    try:
+    # Thread-local override plus a suspended TelemetryContext: the
+    # private registry receives the samples (even with scans running on
+    # several threads at once) and the parent labels them once at merge
+    # time, same as the protect-all pipeline.
+    with task_telemetry(metrics=registry), suspend_context():
         gadgets = find_gadgets_in_bytes_cached(
             task["data"],
             base=task["base"],
             max_insns=task["max_insns"],
             include_far=task["include_far"],
         )
-    finally:
-        set_metrics(previous)
     return {"gadgets": gadgets, "metrics": registry.to_dict()}
 
 

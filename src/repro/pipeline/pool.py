@@ -38,6 +38,10 @@ def worker_init(cache_dir: Optional[str], enabled: bool) -> None:
     from .. import telemetry
 
     telemetry.disable()
+    # fork-started workers inherit the parent's ContextVar state; an
+    # inherited TelemetryContext would swallow samples into a forked
+    # copy of the parent's child registry that never flushes home.
+    telemetry.clear_context()
 
 
 def run_tasks(

@@ -33,12 +33,14 @@ from ..core.config import ProtectConfig
 from ..core.protector import Parallax, ProtectedProgram
 from ..corpus import PROGRAM_NAMES, build_program_cached
 from ..telemetry import (
+    FlightRecorder,
     MetricsRegistry,
     Tracer,
     get_metrics,
+    get_recorder,
     get_tracer,
-    set_metrics,
-    set_tracer,
+    suspend_context,
+    task_telemetry,
 )
 from .pool import mp_context, worker_init
 
@@ -154,14 +156,25 @@ def _run_task(task: dict) -> dict:
     private tracer captures this task's spans too; the parent adopts
     them via :meth:`Tracer.ingest` under its ``pipeline.program`` span,
     so worker spans are no longer dropped in multiprocessing runs.
+    Likewise a private flight recorder captures this task's events when
+    the parent's recorder is on (``task["recording"]``), shipped back
+    for :meth:`FlightRecorder.ingest`.
+
+    Any active :class:`~repro.telemetry.context.TelemetryContext` is
+    suspended for the task body: samples collect in the private
+    registry here and the *parent* labels them exactly once at merge
+    time, keeping the inline ``jobs=1`` path identical to pool workers
+    (which run context-free via ``worker_init``).
     """
     name = task["name"]
     config: ProtectConfig = task["config"]
     registry = MetricsRegistry(enabled=True)
     tracer = Tracer(enabled=bool(task.get("tracing")))
-    previous = set_metrics(registry)
-    previous_tracer = set_tracer(tracer)
-    try:
+    recorder = FlightRecorder(enabled=bool(task.get("recording")))
+    # The private objects are installed thread-locally (ContextVar), not
+    # by swapping the process-wide telemetry: two threads running inline
+    # pipelines concurrently must not see each other's task registries.
+    with task_telemetry(registry, tracer, recorder), suspend_context():
         start = time.perf_counter()
         program = build_program_cached(name)
         protected = Parallax(config).protect(
@@ -179,9 +192,7 @@ def _run_task(task: dict) -> dict:
             )
         samples = registry.to_dict()
         spans = tracer.to_events()
-    finally:
-        set_metrics(previous)
-        set_tracer(previous_tracer)
+        events = recorder.to_events()
     hits = samples.get("cache.protect.hits", {}).get("value", 0)
     return {
         "name": name,
@@ -193,6 +204,7 @@ def _run_task(task: dict) -> dict:
         "behaviour_preserved": behaviour,
         "metrics": samples,
         "spans": spans,
+        "events": events,
         "pid": os.getpid(),
     }
 
@@ -249,18 +261,74 @@ def protect_all(
             "verify": verify,
             "max_steps": max_steps,
             "tracing": get_tracer().enabled,
+            "recording": get_recorder().enabled,
         }
         for name in names
     ]
 
     metrics = get_metrics()
     tracer = get_tracer()
+    recorder = get_recorder()
+    results: List[PipelineResult] = []
+
+    def _merge(entry: dict) -> None:
+        """Adopt one finished task into the parent's telemetry.
+
+        Called per result *as it arrives* (not after the whole batch),
+        so labeled contexts, recorder subscribers, rolling windows and
+        a ``repro top`` tailing the journal see pool progress live.
+        When the parent runs under a TelemetryContext, ``metrics`` /
+        ``recorder`` are the context's labeled objects — the context's
+        labels are applied exactly once, here.
+        """
+        metrics.merge_samples(entry["metrics"])
+        if entry.get("events"):
+            recorder.ingest(entry["events"], pid=entry["pid"])
+        image, report = pickle.loads(entry["blob"])
+        with tracer.span(
+            "pipeline.program",
+            program=entry["name"],
+            worker_pid=entry["pid"],
+            cache_hit=entry["cache_hit"],
+        ) as span:
+            span.set_attribute("elapsed_s", entry["elapsed"])
+            # Adopt the worker's spans under this program's span so
+            # multiprocessing runs trace like inline ones; the
+            # worker_pid attribute lanes them per process in the
+            # Chrome-trace export.
+            if entry.get("spans"):
+                tracer.ingest(
+                    entry["spans"],
+                    parent_id=span.span_id,
+                    extra_attributes={"worker_pid": entry["pid"]},
+                )
+        if recorder.enabled:
+            recorder.record(
+                "pipeline.task",
+                program=entry["name"],
+                seconds=entry["elapsed"],
+                cache_hit=entry["cache_hit"],
+                pid=entry["pid"],
+            )
+        results.append(
+            PipelineResult(
+                entry["name"],
+                image,
+                report,
+                entry["elapsed"],
+                entry["cache_hit"],
+                entry["pid"],
+                entry["behaviour_preserved"],
+            )
+        )
+
     with tracer.span(
         "protect_all", programs=len(tasks), jobs=jobs,
         cache_dir=effective_cache_dir or "",
     ):
         if jobs == 1 or len(tasks) <= 1:
-            raw = [_run_task(task) for task in tasks]
+            for task in tasks:
+                _merge(_run_task(task))
         else:
             ctx = mp_context()
             pool_size = min(jobs, len(tasks))
@@ -269,34 +337,12 @@ def protect_all(
                 initializer=worker_init,
                 initargs=(effective_cache_dir, cache_enabled),
             ) as pool:
-                raw = list(pool.imap(_run_task, tasks, chunksize=1))
+                # imap preserves input order, so merging incrementally
+                # keeps the deterministic merge order of the old
+                # collect-then-merge loop.
+                for entry in pool.imap(_run_task, tasks, chunksize=1):
+                    _merge(entry)
 
-        results: List[PipelineResult] = []
-        for entry in raw:  # input order == task order (imap preserves it)
-            metrics.merge_samples(entry["metrics"])
-            image, report = pickle.loads(entry["blob"])
-            with tracer.span(
-                "pipeline.program",
-                program=entry["name"],
-                worker_pid=entry["pid"],
-                cache_hit=entry["cache_hit"],
-            ) as span:
-                span.set_attribute("elapsed_s", entry["elapsed"])
-                # Adopt the worker's spans under this program's span so
-                # multiprocessing runs trace like inline ones.
-                if entry.get("spans"):
-                    tracer.ingest(entry["spans"], parent_id=span.span_id)
-            results.append(
-                PipelineResult(
-                    entry["name"],
-                    image,
-                    report,
-                    entry["elapsed"],
-                    entry["cache_hit"],
-                    entry["pid"],
-                    entry["behaviour_preserved"],
-                )
-            )
         metrics.counter("pipeline.programs").inc(len(results))
         metrics.counter("pipeline.cache_hits").inc(
             sum(1 for r in results if r.cache_hit)

@@ -17,9 +17,18 @@ are only installed when a tracer is enabled).  :func:`configure` flips
 any side on; :func:`telemetry_session` scopes that to a ``with`` block
 and restores the previous state afterwards.
 
+Request scoping: when a :class:`TelemetryContext` is active on the
+current thread/task, :func:`get_metrics`, :func:`get_tracer` and
+:func:`get_recorder` return its label-scoped child objects instead of
+the globals; the context merges everything back into the globals under
+its labels on exit (see :mod:`repro.telemetry.context`).
+
 Exporters live in :mod:`repro.telemetry.export`: Chrome trace-event
 JSON from the tracer, Prometheus text from the registry, and the
-``repro stats`` dashboard over any exported artifact.
+``repro stats`` / ``repro top`` dashboards over exported (or live)
+artifacts.  Rolling-window aggregation for live views lives in
+:mod:`repro.telemetry.windows`; the enabled-overhead self-accounting
+and budget checks in :mod:`repro.telemetry.overhead`.
 """
 
 from __future__ import annotations
@@ -28,6 +37,16 @@ from contextlib import contextmanager
 from typing import Optional
 
 from .chains import ChainExecutionTracer, ChainStep, trace_chain_run
+from .context import (
+    TelemetryContext,
+    clear_context,
+    current_context,
+    current_labels,
+    current_task_telemetry,
+    suspend_context,
+    task_telemetry,
+    telemetry_context,
+)
 from .export import (
     ARTIFACT_KINDS,
     chrome_trace,
@@ -45,8 +64,15 @@ from .metrics import (
     MetricsRegistry,
     Timer,
 )
+from .overhead import (
+    OverheadReport,
+    measure_overhead,
+    publish_overhead,
+    self_accounting,
+)
 from .recorder import FlightRecorder, get_recorder, set_recorder
 from .tracing import Span, Tracer
+from .windows import RollingWindow, WindowSet
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
@@ -54,6 +80,12 @@ __all__ = [
     "Span", "Tracer",
     "FlightRecorder", "get_recorder", "set_recorder",
     "ChainStep", "ChainExecutionTracer", "trace_chain_run",
+    "TelemetryContext", "telemetry_context", "current_context",
+    "current_labels", "suspend_context", "clear_context",
+    "task_telemetry", "current_task_telemetry",
+    "RollingWindow", "WindowSet",
+    "OverheadReport", "measure_overhead", "publish_overhead",
+    "self_accounting",
     "chrome_trace", "write_chrome_trace",
     "prometheus_text", "write_prometheus",
     "ARTIFACT_KINDS", "load_artifact", "render_stats",
@@ -65,9 +97,24 @@ _metrics = MetricsRegistry(enabled=False)
 _tracer = Tracer(enabled=False)
 
 
-def get_metrics() -> MetricsRegistry:
-    """The process-wide metrics registry (disabled until configured)."""
+def _global_metrics() -> MetricsRegistry:
+    """The process-wide registry, ignoring any active context."""
     return _metrics
+
+
+def _global_tracer() -> Tracer:
+    """The process-wide tracer, ignoring any active context."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """The task override's registry, else the active context's, else
+    the process-wide one (disabled until configured)."""
+    task = current_task_telemetry()
+    if task is not None and task.metrics is not None:
+        return task.metrics
+    ctx = current_context()
+    return ctx.metrics if ctx is not None else _metrics
 
 
 def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
@@ -77,8 +124,13 @@ def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
 
 
 def get_tracer() -> Tracer:
-    """The process-wide tracer (disabled until configured)."""
-    return _tracer
+    """The task override's tracer, else the active context's, else the
+    process-wide one (disabled until configured)."""
+    task = current_task_telemetry()
+    if task is not None and task.tracer is not None:
+        return task.tracer
+    ctx = current_context()
+    return ctx.tracer if ctx is not None else _tracer
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
@@ -98,12 +150,14 @@ def configure(
     registry keeps its instruments; use ``get_metrics().reset()`` for a
     clean slate (likewise ``get_recorder().clear()``).
     """
+    from .recorder import _recorder
+
     if metrics is not None:
         _metrics.enabled = metrics
     if tracing is not None:
         _tracer.enabled = tracing
     if recorder is not None:
-        get_recorder().enabled = recorder
+        _recorder.enabled = recorder
 
 
 def disable() -> None:
@@ -112,7 +166,10 @@ def disable() -> None:
 
 @contextmanager
 def telemetry_session(
-    metrics: bool = True, tracing: bool = True, recorder: bool = False
+    metrics: bool = True,
+    tracing: bool = True,
+    recorder: bool = False,
+    recorder_capacity: Optional[int] = None,
 ):
     """Fresh, enabled registry + tracer (+ optional flight recorder)
     for the duration of the block.
@@ -120,14 +177,18 @@ def telemetry_session(
     Yields ``(MetricsRegistry, Tracer)``; the previous process-wide
     objects (and their enabled state) are restored on exit.  When
     ``recorder`` is true a fresh :class:`FlightRecorder` is installed
-    for the block too — fetch it with :func:`get_recorder`.
+    for the block too — fetch it with :func:`get_recorder` — sized
+    ``recorder_capacity`` events (default: ``REPRO_RECORDER_EVENTS``
+    or 8192).
     """
     new_metrics = MetricsRegistry(enabled=metrics)
     new_tracer = Tracer(enabled=tracing)
     old_metrics = set_metrics(new_metrics)
     old_tracer = set_tracer(new_tracer)
     old_recorder = (
-        set_recorder(FlightRecorder(enabled=True)) if recorder else None
+        set_recorder(FlightRecorder(capacity=recorder_capacity, enabled=True))
+        if recorder
+        else None
     )
     try:
         yield new_metrics, new_tracer

@@ -1,0 +1,295 @@
+"""Request-scoped telemetry contexts: labeled, contextvars-propagated.
+
+A :class:`TelemetryContext` carries a label set (request id, tenant,
+engine, workload — any ``str -> str`` mapping) and scopes telemetry to
+it: while the context is active, :func:`repro.telemetry.get_metrics`
+returns the context's *child registry* (whose ``base_labels`` stamp the
+labels on every instrument), :func:`~repro.telemetry.get_tracer`
+returns a child tracer, and :func:`~repro.telemetry.get_recorder`
+returns a view of the process-wide flight recorder that attaches the
+labels to every event as a ``ctx`` field — so events stream live (to
+subscribers, rolling windows and ``--journal-follow``) instead of
+waiting for the context to close.
+
+On exit the context **flushes**: the child registry's labeled samples
+merge into the global registry (guarded by a lock, so concurrent
+contexts on different threads reconcile exactly), and the child
+tracer's spans are adopted into the global trace with the labels as
+``ctx.*`` attributes.  Per-label sums therefore always equal what an
+unlabeled run would have recorded — the reconciliation invariant
+``tests/pipeline/test_context_isolation.py`` pins down.
+
+Propagation:
+
+* **threads / asyncio** — contexts live in a :mod:`contextvars`
+  ContextVar, so each thread (and each asyncio task) sees only its own
+  active context;
+* **multiprocessing pool workers** — the pipeline captures
+  :func:`current_labels` into each task; workers run label-free under
+  private registries/recorders (see :func:`suspend_context`, which
+  also keeps the inline ``jobs=1`` path identical to the pooled one)
+  and ship samples/spans/events back to the parent, which merges them
+  *inside* its active context so the labels apply exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+from typing import Dict, Mapping, Optional
+
+from .metrics import MetricsRegistry, _normalize_labels
+from .tracing import Tracer
+
+__all__ = [
+    "TelemetryContext",
+    "telemetry_context",
+    "current_context",
+    "current_labels",
+    "suspend_context",
+    "clear_context",
+    "task_telemetry",
+    "current_task_telemetry",
+]
+
+#: The active context for this thread / task (None = global telemetry).
+_ACTIVE: ContextVar[Optional["TelemetryContext"]] = ContextVar(
+    "repro.telemetry.context", default=None
+)
+
+#: Task-private telemetry override for this thread / task (wins over
+#: both the active context and the process-wide objects).
+_TASK_LOCAL: ContextVar[Optional["task_telemetry"]] = ContextVar(
+    "repro.telemetry.task_local", default=None
+)
+
+#: Serializes flushes into the global registry/tracer across threads.
+_FLUSH_LOCK = threading.Lock()
+
+
+def current_context() -> Optional["TelemetryContext"]:
+    """The active :class:`TelemetryContext`, or ``None``."""
+    return _ACTIVE.get()
+
+
+def current_labels() -> Dict[str, str]:
+    """The active context's labels (``{}`` when no context is active)."""
+    ctx = _ACTIVE.get()
+    return dict(ctx.labels) if ctx is not None else {}
+
+
+def clear_context() -> None:
+    """Drop any inherited active context (pool-worker initializer).
+
+    ``fork``-started workers inherit the parent's ContextVar state; a
+    worker that kept the parent's context would write into a *copy* of
+    the parent's child registry and the samples would never make it
+    back.  Workers instead run context-free and ship samples home.
+    """
+    _ACTIVE.set(None)
+    _TASK_LOCAL.set(None)
+
+
+def current_task_telemetry() -> Optional["task_telemetry"]:
+    """The active task-private telemetry override, or ``None``."""
+    return _TASK_LOCAL.get()
+
+
+class task_telemetry:
+    """Install task-private metrics/tracer/recorder for this thread.
+
+    Pipeline task bodies (``protect-all`` tasks, parallel gadget
+    scans) collect their telemetry into private objects so the parent
+    can merge samples deterministically.  Swapping the *process-wide*
+    objects for that would race: two threads running inline tasks
+    concurrently would overwrite each other's private registries and
+    one request's counts would land under the other's labels.  This
+    override lives in a :mod:`contextvars` ContextVar instead, so it is
+    visible only to the installing thread/task and the reconciliation
+    invariant survives threading.
+
+    Any field left ``None`` falls through to the normal resolution
+    (active context, then process-wide object).
+    """
+
+    __slots__ = ("metrics", "tracer", "recorder", "_token")
+
+    def __init__(self, metrics=None, tracer=None, recorder=None):
+        self.metrics = metrics
+        self.tracer = tracer
+        self.recorder = recorder
+        self._token = None
+
+    def __enter__(self) -> "task_telemetry":
+        if self._token is not None:
+            raise RuntimeError("task telemetry override is not reentrant")
+        self._token = _TASK_LOCAL.set(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _TASK_LOCAL.reset(self._token)
+        self._token = None
+        return False
+
+
+class _ContextRecorder:
+    """View of the global flight recorder that stamps context labels.
+
+    Events recorded through the view reach the real recorder (and its
+    subscribers) immediately with a ``ctx`` field carrying the label
+    set; everything else delegates, so exporters and hot-path
+    ``recorder.enabled`` guards behave identically.
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Dict[str, str]):
+        object.__setattr__(self, "_labels", labels)
+
+    @property
+    def _base(self):
+        from .recorder import _recorder
+
+        return _recorder
+
+    @property
+    def enabled(self) -> bool:
+        return self._base.enabled
+
+    def record(self, kind: str, **fields) -> None:
+        base = self._base
+        if not base.enabled:
+            return
+        base.record(kind, ctx=self._labels, **fields)
+
+    def ingest(self, events, labels=None, pid=None) -> int:
+        merged = dict(self._labels)
+        if labels:
+            merged.update(labels)
+        return self._base.ingest(events, labels=merged, pid=pid)
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)
+
+    def __repr__(self) -> str:
+        return f"<_ContextRecorder {self._labels} -> {self._base!r}>"
+
+
+class TelemetryContext:
+    """One labeled telemetry scope; use as a context manager.
+
+    ::
+
+        with TelemetryContext({"request": "r-17", "tenant": "acme"}):
+            protect_all(jobs=2)           # everything lands under r-17
+
+    Nested contexts merge labels (inner keys win); the child registry
+    and tracer mirror the *global* enabled state at entry, so a context
+    under disabled telemetry costs two small allocations and nothing
+    else.
+    """
+
+    __slots__ = (
+        "labels",
+        "metrics",
+        "tracer",
+        "recorder",
+        "_token",
+        "_flushed",
+    )
+
+    def __init__(self, labels: Optional[Mapping] = None):
+        from . import get_metrics, get_tracer
+
+        parent = _ACTIVE.get()
+        merged: Dict[str, str] = dict(parent.labels) if parent else {}
+        merged.update(_normalize_labels(labels))
+        if not merged:
+            raise ValueError("a telemetry context needs at least one label")
+        self.labels = merged
+        # Mirror the *currently visible* telemetry's enabled state (the
+        # global one, or an enclosing context's child objects).
+        self.metrics = MetricsRegistry(
+            enabled=get_metrics().enabled, base_labels=merged
+        )
+        self.tracer = Tracer(enabled=get_tracer().enabled)
+        self.recorder = _ContextRecorder(merged)
+        self._token = None
+        self._flushed = False
+
+    # -- scope management ----------------------------------------------
+
+    def __enter__(self) -> "TelemetryContext":
+        if self._token is not None:
+            raise RuntimeError("telemetry context is not reentrant")
+        self._token = _ACTIVE.set(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _ACTIVE.reset(self._token)
+        self._token = None
+        self.flush()
+        return False
+
+    # -- reconciliation -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """The child registry's labeled samples (pre- or post-flush)."""
+        return self.metrics.to_dict()
+
+    def flush(self) -> None:
+        """Merge the child registry and tracer into the global objects.
+
+        Idempotent per batch: merged samples/spans are cleared from the
+        child, so flushing mid-run and again at exit never double
+        counts.  The merge into the shared global registry is locked —
+        two contexts finishing on different threads interleave safely.
+        """
+        from . import _global_metrics, _global_tracer
+
+        samples = self.metrics.to_dict()
+        spans = self.tracer.to_events()
+        if not samples and not spans:
+            return
+        self.metrics.reset()
+        self.tracer.reset()
+        attributes = {f"ctx.{k}": v for k, v in self.labels.items()}
+        with _FLUSH_LOCK:
+            if samples:
+                # Samples already carry the context labels (base_labels
+                # stamped them at accessor time) — merge verbatim.
+                _global_metrics().merge_samples(samples)
+            if spans:
+                _global_tracer().ingest(spans, extra_attributes=attributes)
+        self._flushed = True
+
+    def __repr__(self) -> str:
+        return f"<TelemetryContext {self.labels}>"
+
+
+def telemetry_context(**labels) -> TelemetryContext:
+    """Keyword-argument sugar: ``with telemetry_context(request="r1"):``."""
+    return TelemetryContext(labels)
+
+
+class suspend_context:
+    """Temporarily deactivate the current context (``with`` block).
+
+    Pipeline task bodies run under this so the inline ``jobs=1`` path
+    behaves exactly like a pool worker: samples collect in the task's
+    private registry and are labeled once, by the parent, at merge
+    time.
+    """
+
+    __slots__ = ("_token",)
+
+    def __enter__(self) -> "suspend_context":
+        self._token = _ACTIVE.set(None)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _ACTIVE.reset(self._token)
+        return False

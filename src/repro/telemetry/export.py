@@ -54,17 +54,16 @@ def chrome_trace(
     Every span becomes one complete (``ph: "X"``) event with
     microsecond wall-clock ``ts`` and ``dur``, so nesting reconstructs
     visually from timing alone; span/parent ids ride along in ``args``.
+
+    Spans carrying a ``worker_pid`` attribute (stamped by the parallel
+    pipeline when it hoists pool-worker spans into the parent trace)
+    are laned under that pid, with ``process_name``/``thread_name``
+    metadata events per worker — in Perfetto each pool worker renders
+    as its own named process track instead of piling onto the parent's.
     """
     pid = os.getpid() if pid is None else pid
-    events: List[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": pid,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
-    ]
+    span_events: List[dict] = []
+    worker_pids: List[int] = []
     for span in spans:
         record = span if isinstance(span, dict) else span.to_dict()
         args = dict(record.get("attributes") or {})
@@ -73,18 +72,63 @@ def chrome_trace(
             args["parent_id"] = record["parent_id"]
         if record.get("status") not in (None, "ok"):
             args["status"] = record["status"]
-        events.append(
+        event_pid = pid
+        worker_pid = args.get("worker_pid")
+        if worker_pid is not None:
+            try:
+                event_pid = int(worker_pid)
+            except (TypeError, ValueError):
+                event_pid = pid
+            if event_pid != pid and event_pid not in worker_pids:
+                worker_pids.append(event_pid)
+        span_events.append(
             {
                 "name": record["name"],
                 "cat": "repro",
                 "ph": "X",
                 "ts": round(record.get("start_ts", 0.0) * 1e6, 3),
                 "dur": round(record.get("duration_s", 0.0) * 1e6, 3),
-                "pid": pid,
+                "pid": event_pid,
                 "tid": 1,
                 "args": args,
             }
         )
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 1,
+            "args": {"name": "spans"},
+        },
+    ]
+    for worker_pid in worker_pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": worker_pid,
+                "tid": 0,
+                "args": {"name": f"{process_name} worker {worker_pid}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": worker_pid,
+                "tid": 1,
+                "args": {"name": "worker spans"},
+            }
+        )
+    events.extend(span_events)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -101,6 +145,7 @@ def write_chrome_trace(tracer: Tracer, path: str, **kwargs) -> None:
 # ----------------------------------------------------------------------
 
 _PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def _prom_name(name: str) -> str:
@@ -108,6 +153,36 @@ def _prom_name(name: str) -> str:
     if sanitized and sanitized[0].isdigit():
         sanitized = "_" + sanitized
     return sanitized
+
+
+def _prom_label_name(name: str) -> str:
+    sanitized = _PROM_LABEL_BAD.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_label_value(value) -> str:
+    # Escape order matters: backslashes first, else the escapes we add
+    # for quotes/newlines would themselves get doubled.
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[List[Tuple[str, str]]] = None) -> str:
+    """Render a ``{k="v",...}`` label block (empty string when bare)."""
+    pairs = [
+        (_prom_label_name(k), _prom_label_value(v)) for k, v in labels.items()
+    ]
+    if extra:
+        pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
 
 
 def _prom_value(value) -> str:
@@ -118,41 +193,93 @@ def _prom_value(value) -> str:
     return repr(float(value)) if isinstance(value, float) else str(value)
 
 
+def _sample_identity(key: str, sample: dict) -> Tuple[str, Dict[str, str]]:
+    """Bare metric name + labels for one exported sample.
+
+    Current exports carry ``name``/``labels`` fields; older artifacts
+    only have the series key, where the bare name precedes any ``{``.
+    """
+    name = sample.get("name") or key.split("{", 1)[0]
+    labels = sample.get("labels") or {}
+    return name, labels
+
+
 def prometheus_text(registry) -> str:
     """Prometheus text format from a registry or an exported samples dict.
 
-    Histogram buckets are converted from the registry's per-bucket
-    counts to Prometheus's cumulative ``le`` series; ``sum_sq`` (when
-    present) is surfaced as a ``_stddev`` gauge so dashboards get
-    spread without a second scrape.
+    Labeled series render with a ``{key="value"}`` block — label values
+    escaped per the exposition format (backslash, double-quote,
+    newline) — and every family gets exactly one ``# TYPE`` line
+    regardless of how many labeled series it holds.  Histogram buckets
+    are converted from the registry's per-bucket counts to Prometheus's
+    cumulative ``le`` series; ``sum_sq`` (when present) is surfaced as
+    a ``_stddev`` gauge so dashboards get spread without a second
+    scrape.
     """
     samples = (
         registry.to_dict() if isinstance(registry, MetricsRegistry) else registry
     )
-    lines: List[str] = []
-    for name in sorted(samples):
-        sample = samples[name]
+    # Group series into families so one # TYPE line covers them all.
+    families: Dict[str, List[Tuple[Dict[str, str], dict]]] = {}
+    kinds: Dict[str, str] = {}
+    for key in sorted(samples):
+        sample = samples[key]
+        name, labels = _sample_identity(key, sample)
         kind = sample.get("type")
         base = _prom_name(name)
+        if kinds.setdefault(base, kind) != kind:
+            raise ValueError(
+                f"family {base!r} mixes sample types "
+                f"({kinds[base]!r} and {kind!r})"
+            )
+        families.setdefault(base, []).append((labels, sample))
+    lines: List[str] = []
+    for base in sorted(families):
+        kind = kinds[base]
+        series = families[base]
         if kind == "counter":
             lines.append(f"# TYPE {base}_total counter")
-            lines.append(f"{base}_total {_prom_value(sample['value'])}")
+            for labels, sample in series:
+                lines.append(
+                    f"{base}_total{_prom_labels(labels)}"
+                    f" {_prom_value(sample['value'])}"
+                )
         elif kind == "gauge":
             lines.append(f"# TYPE {base} gauge")
-            lines.append(f"{base} {_prom_value(sample['value'])}")
+            for labels, sample in series:
+                lines.append(
+                    f"{base}{_prom_labels(labels)}"
+                    f" {_prom_value(sample['value'])}"
+                )
         elif kind == "histogram":
             lines.append(f"# TYPE {base} histogram")
-            cumulative = 0
-            for bucket in sample["buckets"]:
-                cumulative += bucket["count"]
-                le = bucket["le"]
-                le_text = le if le == "+Inf" else _prom_value(le)
-                lines.append(f'{base}_bucket{{le="{le_text}"}} {cumulative}')
-            lines.append(f"{base}_sum {_prom_value(sample['sum'])}")
-            lines.append(f"{base}_count {sample['count']}")
-            if sample.get("stddev") is not None:
+            stddev_lines: List[str] = []
+            for labels, sample in series:
+                cumulative = 0
+                for bucket in sample["buckets"]:
+                    cumulative += bucket["count"]
+                    le = bucket["le"]
+                    le_text = le if le == "+Inf" else _prom_value(le)
+                    lines.append(
+                        f"{base}_bucket"
+                        f"{_prom_labels(labels, extra=[('le', le_text)])}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{base}_sum{_prom_labels(labels)}"
+                    f" {_prom_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{base}_count{_prom_labels(labels)} {sample['count']}"
+                )
+                if sample.get("stddev") is not None:
+                    stddev_lines.append(
+                        f"{base}_stddev{_prom_labels(labels)}"
+                        f" {_prom_value(sample['stddev'])}"
+                    )
+            if stddev_lines:
                 lines.append(f"# TYPE {base}_stddev gauge")
-                lines.append(f"{base}_stddev {_prom_value(sample['stddev'])}")
+                lines.extend(stddev_lines)
         else:
             raise ValueError(f"cannot export sample of type {kind!r}")
     return "\n".join(lines) + "\n"
@@ -255,6 +382,62 @@ def _fmt_rate(num: float, den: float) -> str:
     return f"{num / den:.2%}" if den else "n/a"
 
 
+#: Label names carrying *dimension* cardinality (hot mnemonics, attack
+#: cells, ...) rather than *request scope* — excluded when grouping
+#: samples into per-context slices.
+_DIMENSION_LABELS = frozenset(
+    ("mnemonic", "addr", "head", "attack", "rule", "overflow", "le")
+)
+
+
+def _stats_context_slices(samples: Dict[str, dict]) -> List[str]:
+    """Per-request-context rollup: one row per distinct label set.
+
+    A slice is defined by the sample's request-scope labels (anything
+    other than the known dimension labels).  For each slice, show a few
+    headline totals so ``repro stats`` answers "who did what" when a
+    run mixed labeled contexts.
+    """
+    slices: Dict[Tuple[Tuple[str, str], ...], Dict[str, float]] = {}
+    for key, sample in samples.items():
+        name, labels = _sample_identity(key, sample)
+        scope = tuple(
+            sorted(
+                (k, v) for k, v in labels.items() if k not in _DIMENSION_LABELS
+            )
+        )
+        if not scope:
+            continue
+        bucket = slices.setdefault(scope, {})
+        if sample.get("type") in ("counter", "gauge"):
+            bucket[name] = bucket.get(name, 0) + sample.get("value", 0)
+        elif sample.get("type") == "histogram":
+            bucket[name] = bucket.get(name, 0) + sample.get("count", 0)
+    if not slices:
+        return []
+    lines = ["context slices"]
+    headline = (
+        ("protect.runs", "protects"),
+        ("attacks.evaluated", "attacks"),
+        ("emu.instructions", "instructions"),
+        ("pipeline.tasks", "tasks"),
+    )
+    for scope in sorted(slices):
+        rendered = ",".join(f"{k}={v}" for k, v in scope)
+        totals = slices[scope]
+        shown = [
+            f"{label} {int(totals[name]):,}"
+            for name, label in headline
+            if name in totals
+        ]
+        if not shown:
+            top = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+            shown = [f"{name} {int(value):,}" for name, value in top[:3]]
+        lines.append(f"  {{{rendered}}}")
+        lines.append(f"    {'  '.join(shown)}")
+    return lines
+
+
 def _stats_metrics(samples: Dict[str, dict]) -> List[str]:
     lines: List[str] = []
 
@@ -319,12 +502,22 @@ def _stats_metrics(samples: Dict[str, dict]) -> List[str]:
         sample = samples.get(name)
         if sample is not None and sample.get("type") == "histogram":
             latency_rows.append((name.rsplit(".", 1)[-1], sample))
-    cells = sorted(
-        (name[len("attacks.cycles_to_detection."):], sample)
-        for name, sample in samples.items()
-        if name.startswith("attacks.cycles_to_detection.")
-        and sample.get("type") == "histogram"
-    )
+    # Per attack x rule cells: labeled series on the family (current),
+    # with dotted-suffix names still understood for older artifacts.
+    cell_rows = []
+    for key, sample in samples.items():
+        if sample.get("type") != "histogram":
+            continue
+        name, labels = _sample_identity(key, sample)
+        if name == "attacks.cycles_to_detection" and "attack" in labels:
+            cell_rows.append(
+                (f"{labels['attack']}.{labels.get('rule', '?')}", sample)
+            )
+        elif key.startswith("attacks.cycles_to_detection.") and not labels:
+            cell_rows.append(
+                (key[len("attacks.cycles_to_detection."):], sample)
+            )
+    cells = sorted(cell_rows)
     if latency_rows or cells:
         lines.append("detection latency (emulated cycles from tamper)")
         for label, sample in latency_rows:
@@ -345,14 +538,19 @@ def _stats_metrics(samples: Dict[str, dict]) -> List[str]:
                 )
 
     # -- hottest mnemonics --------------------------------------------
-    hot = sorted(
-        (
-            (name[len("emu.hot.mnemonic."):], sample["value"])
-            for name, sample in samples.items()
-            if name.startswith("emu.hot.mnemonic.") and sample["type"] == "counter"
-        ),
-        key=lambda pair: (-pair[1], pair[0]),
-    )
+    def _hot_series(family: str, label: str, legacy_prefix: str):
+        rows = []
+        for key, sample in samples.items():
+            if sample.get("type") != "counter":
+                continue
+            name, labels = _sample_identity(key, sample)
+            if name == family and label in labels:
+                rows.append((labels[label], sample["value"]))
+            elif key.startswith(legacy_prefix) and not labels:
+                rows.append((key[len(legacy_prefix):], sample["value"]))
+        return sorted(rows, key=lambda pair: (-pair[1], pair[0]))
+
+    hot = _hot_series("emu.hot.mnemonic", "mnemonic", "emu.hot.mnemonic.")
     if hot:
         total = sum(count for _, count in hot)
         lines.append("hottest mnemonics (top 10)")
@@ -360,27 +558,12 @@ def _stats_metrics(samples: Dict[str, dict]) -> List[str]:
             lines.append(
                 f"  {mnemonic:<8} {int(count):>14,}   ({_fmt_rate(count, total)})"
             )
-    hot_blocks = sorted(
-        (
-            (name[len("emu.hot.block."):], sample["value"])
-            for name, sample in samples.items()
-            if name.startswith("emu.hot.block.") and sample["type"] == "counter"
-        ),
-        key=lambda pair: (-pair[1], pair[0]),
-    )
+    hot_blocks = _hot_series("emu.hot.block", "addr", "emu.hot.block.")
     if hot_blocks:
         lines.append("hottest blocks (executions)")
         for addr, count in hot_blocks[:10]:
             lines.append(f"  {addr:<12} {int(count):>12,}")
-    hot_traces = sorted(
-        (
-            (name[len("emu.hot.trace.head."):], sample["value"])
-            for name, sample in samples.items()
-            if name.startswith("emu.hot.trace.head.")
-            and sample["type"] == "counter"
-        ),
-        key=lambda pair: (-pair[1], pair[0]),
-    )
+    hot_traces = _hot_series("emu.hot.trace", "head", "emu.hot.trace.head.")
     if hot_traces:
         lines.append("hottest traces (dispatches)")
         for addr, count in hot_traces[:10]:
@@ -409,6 +592,8 @@ def _stats_metrics(samples: Dict[str, dict]) -> List[str]:
         lines.append(f"  emulated cycles            {int(cycles):>12,}")
         mispredicts = _counter(samples, "emu.ret_mispredicts")
         lines.append(f"  return mispredicts         {int(mispredicts):>12,}")
+
+    lines.extend(_stats_context_slices(samples))
 
     if not lines:
         lines.append(f"(no engine/chain samples among {len(samples)} instruments)")

@@ -17,13 +17,25 @@ Design constraints (see DESIGN.md §Observability):
 * **Explicit buckets.**  Histograms take explicit upper bounds
   (``le`` semantics, like Prometheus): an observation lands in the
   first bucket whose bound is >= the value, else in the +Inf overflow.
+* **Labels.**  Every accessor takes an optional ``labels`` mapping
+  (request id, tenant, engine, attack cell...).  Series with the same
+  name but different label sets are independent instruments in one
+  *family*; a per-family **cardinality guard** collapses runaway label
+  sets into a single ``{overflow="true"}`` series instead of letting
+  an unbounded attribute (say, a gadget address) eat the process.
+  A registry can carry ``base_labels`` that are stamped onto every
+  instrument it hands out — the mechanism request-scoped
+  :class:`~repro.telemetry.context.TelemetryContext` child registries
+  use so their samples merge into the global registry under the
+  request's labels.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -37,6 +49,8 @@ __all__ = [
     "NULL_TIMER",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_MAX_SERIES",
+    "format_series",
 ]
 
 #: Default histogram buckets for durations in seconds (1µs .. 30s).
@@ -55,48 +69,88 @@ DEFAULT_CYCLE_BUCKETS: Tuple[float, ...] = (
     1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
 )
 
+#: Default cap on distinct label sets per metric family; overridable
+#: per registry or via ``REPRO_METRICS_MAX_SERIES``.
+DEFAULT_MAX_SERIES = 64
+
+#: Name of the counter bumped every time the cardinality guard trips.
+CARDINALITY_OVERFLOW_COUNTER = "telemetry.cardinality.overflow"
+
+#: The label set runaway series are collapsed into.
+OVERFLOW_LABELS: Dict[str, str] = {"overflow": "true"}
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
 
 def _ensure_parent_dir(path: str) -> None:
     """Create the parent directory of ``path`` if it is missing, so a
     long run never fails at export time over an absent output dir."""
-    import os
-
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
 
 
+def _normalize_labels(labels: Optional[Mapping]) -> Dict[str, str]:
+    """Coerce a label mapping to ``str -> str``, rejecting reserved names."""
+    if not labels:
+        return {}
+    out: Dict[str, str] = {}
+    for key, value in labels.items():
+        key = str(key)
+        if key == "le":
+            raise ValueError("label name 'le' is reserved for histograms")
+        out[key] = str(value)
+    return out
+
+
+def format_series(name: str, labels: Optional[Mapping[str, str]]) -> str:
+    """Canonical series key: ``name`` or ``name{k="v",...}`` (sorted)."""
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None):
         self.name = name
         self.help = help
         self.value = 0
+        self.labels: Dict[str, str] = dict(labels or {})
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
         self.value += amount
 
+    @property
+    def series_key(self) -> str:
+        return format_series(self.name, self.labels)
+
     def to_dict(self) -> dict:
-        return {"type": "counter", "name": self.name, "value": self.value}
+        sample = {"type": "counter", "name": self.name, "value": self.value}
+        if self.labels:
+            sample["labels"] = dict(self.labels)
+        return sample
 
     def __repr__(self) -> str:
-        return f"<Counter {self.name}={self.value}>"
+        return f"<Counter {self.series_key}={self.value}>"
 
 
 class Gauge:
     """A value that can go up and down (last write wins)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None):
         self.name = name
         self.help = help
         self.value = 0.0
+        self.labels: Dict[str, str] = dict(labels or {})
 
     def set(self, value: float) -> None:
         self.value = value
@@ -104,11 +158,18 @@ class Gauge:
     def add(self, delta: float) -> None:
         self.value += delta
 
+    @property
+    def series_key(self) -> str:
+        return format_series(self.name, self.labels)
+
     def to_dict(self) -> dict:
-        return {"type": "gauge", "name": self.name, "value": self.value}
+        sample = {"type": "gauge", "name": self.name, "value": self.value}
+        if self.labels:
+            sample["labels"] = dict(self.labels)
+        return sample
 
     def __repr__(self) -> str:
-        return f"<Gauge {self.name}={self.value}>"
+        return f"<Gauge {self.series_key}={self.value}>"
 
 
 class Histogram:
@@ -137,6 +198,7 @@ class Histogram:
         "sum_sq",
         "min",
         "max",
+        "labels",
     )
 
     def __init__(
@@ -144,6 +206,7 @@ class Histogram:
         name: str,
         buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
         help: str = "",
+        labels: Optional[Dict[str, str]] = None,
     ):
         if not buckets:
             raise ValueError("histogram needs at least one bucket bound")
@@ -159,6 +222,7 @@ class Histogram:
         self.sum_sq = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.labels: Dict[str, str] = dict(labels or {})
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -231,8 +295,12 @@ class Histogram:
         pairs.append((float("inf"), self.counts[-1]))
         return pairs
 
+    @property
+    def series_key(self) -> str:
+        return format_series(self.name, self.labels)
+
     def to_dict(self) -> dict:
-        return {
+        sample = {
             "type": "histogram",
             "name": self.name,
             "count": self.count,
@@ -247,9 +315,12 @@ class Histogram:
                 for bound, n in self.bucket_counts()
             ],
         }
+        if self.labels:
+            sample["labels"] = dict(self.labels)
+        return sample
 
     def __repr__(self) -> str:
-        return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+        return f"<Histogram {self.series_key} n={self.count} mean={self.mean:.3g}>"
 
 
 class Timer:
@@ -352,116 +423,228 @@ NULL_TIMER = _NullTimer(NULL_HISTOGRAM)
 
 
 class MetricsRegistry:
-    """Names -> instruments, with JSON/JSONL export.
+    """Names (+ label sets) -> instruments, with JSON/JSONL export.
 
     Instruments are created on first use and aggregated for the life of
-    the registry; re-requesting a name returns the same instrument.
-    A disabled registry returns the shared null instruments and records
-    nothing.
+    the registry; re-requesting a name (and label set) returns the same
+    instrument.  A disabled registry returns the shared null instruments
+    and records nothing.
+
+    ``base_labels`` are merged under every accessor's ``labels`` — the
+    scoped child registries of
+    :class:`repro.telemetry.context.TelemetryContext` use this to stamp
+    a request's label set on everything recorded inside the context.
+
+    ``max_series`` bounds the number of *labeled* series per family;
+    the first label set past the cap (and every one after it) collapses
+    into a shared ``{overflow="true"}`` series and bumps the
+    ``telemetry.cardinality.overflow`` counter, so an unbounded label
+    value cannot grow the registry without bound.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        base_labels: Optional[Mapping[str, str]] = None,
+        max_series: Optional[int] = None,
+    ):
         self.enabled = enabled
-        self._instruments: Dict[str, object] = {}
+        self.base_labels: Dict[str, str] = _normalize_labels(base_labels)
+        if max_series is None:
+            max_series = int(
+                os.environ.get("REPRO_METRICS_MAX_SERIES", DEFAULT_MAX_SERIES)
+            )
+        if max_series < 1:
+            raise ValueError("max_series must be >= 1")
+        self.max_series = max_series
+        #: family name -> {label key -> instrument}
+        self._families: Dict[str, Dict[LabelKey, object]] = {}
 
     # -- instrument accessors ------------------------------------------
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        if not self.enabled:
-            return NULL_COUNTER
-        instrument = self._instruments.get(name)
+    def _series(self, name: str, cls, labels, make):
+        """Find-or-create one series, applying base labels and the
+        per-family cardinality guard."""
+        if self.base_labels:
+            effective = dict(self.base_labels)
+            if labels:
+                effective.update(_normalize_labels(labels))
+        else:
+            effective = _normalize_labels(labels)
+        key: LabelKey = tuple(sorted(effective.items()))
+        family = self._families.get(name)
+        if family is None:
+            family = self._families.setdefault(name, {})
+        instrument = family.get(key)
         if instrument is None:
-            instrument = Counter(name, help)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, Counter):
+            if key and len(family) >= self.max_series:
+                # Cardinality guard: collapse the runaway label set.
+                self.counter(
+                    CARDINALITY_OVERFLOW_COUNTER,
+                    help="label sets collapsed by the cardinality guard",
+                ).inc()
+                effective = dict(OVERFLOW_LABELS)
+                key = tuple(sorted(effective.items()))
+                instrument = family.get(key)
+                if instrument is None:
+                    instrument = family.setdefault(key, make(effective))
+            else:
+                instrument = family.setdefault(key, make(effective))
+        if not isinstance(instrument, cls):
             raise TypeError(f"{name} is already a {type(instrument).__name__}")
         return instrument
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Mapping] = None
+    ) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._series(
+            name, Counter, labels, lambda lb: Counter(name, help, labels=lb)
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Mapping] = None
+    ) -> Gauge:
         if not self.enabled:
             return NULL_GAUGE
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = Gauge(name, help)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, Gauge):
-            raise TypeError(f"{name} is already a {type(instrument).__name__}")
-        return instrument
+        return self._series(
+            name, Gauge, labels, lambda lb: Gauge(name, help, labels=lb)
+        )
 
     def histogram(
         self,
         name: str,
         buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
         help: str = "",
+        labels: Optional[Mapping] = None,
     ) -> Histogram:
         if not self.enabled:
             return NULL_HISTOGRAM
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = Histogram(name, buckets=buckets, help=help)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, Histogram):
-            raise TypeError(f"{name} is already a {type(instrument).__name__}")
-        return instrument
+        return self._series(
+            name,
+            Histogram,
+            labels,
+            lambda lb: Histogram(name, buckets=buckets, help=help, labels=lb),
+        )
 
     def timer(
-        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: Optional[Mapping] = None,
     ) -> Timer:
         if not self.enabled:
             return NULL_TIMER
-        return Timer(self.histogram(name, buckets=buckets))
+        return Timer(self.histogram(name, buckets=buckets, labels=labels))
 
-    # -- export ---------------------------------------------------------
+    # -- introspection --------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        return sum(len(family) for family in self._families.values())
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        if name in self._families:
+            return True
+        if "{" in name:
+            bare = name.split("{", 1)[0]
+            family = self._families.get(bare)
+            if family:
+                return any(
+                    inst.series_key == name for inst in family.values()
+                )
+        return False
 
-    def get(self, name: str):
-        return self._instruments.get(name)
+    def get(self, name: str, labels: Optional[Mapping] = None):
+        """The instrument for ``name`` and ``labels`` (default: the
+        unlabeled series), or ``None``."""
+        family = self._families.get(name)
+        if not family:
+            return None
+        effective = dict(self.base_labels)
+        effective.update(_normalize_labels(labels))
+        return family.get(tuple(sorted(effective.items())))
+
+    def series(self, name: str) -> List[object]:
+        """Every instrument in the ``name`` family, label-key order."""
+        family = self._families.get(name, {})
+        return [family[key] for key in sorted(family)]
+
+    def family_total(self, name: str) -> float:
+        """Sum of ``value`` across a counter/gauge family's series.
+
+        The reconciliation primitive: per-request labeled series must
+        sum to the same total an unlabeled run would have counted.
+        """
+        return sum(
+            inst.value
+            for inst in self._families.get(name, {}).values()
+            if isinstance(inst, (Counter, Gauge))
+        )
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        """Sorted series keys (bare names first within a family)."""
+        out: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            out.extend(family[key].series_key for key in sorted(family))
+        return out
 
     def reset(self) -> None:
-        self._instruments.clear()
+        self._families.clear()
 
     def to_dict(self) -> dict:
-        return {
-            name: self._instruments[name].to_dict()
-            for name in sorted(self._instruments)
-        }
+        """Flat ``series key -> sample`` mapping, deterministic order."""
+        out: Dict[str, dict] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key in sorted(family):
+                instrument = family[key]
+                out[instrument.series_key] = instrument.to_dict()
+        return out
 
-    # -- merging (parallel pipeline workers) ---------------------------
+    # -- merging (parallel pipeline workers, context flushes) ----------
 
-    def merge_samples(self, samples: Dict[str, dict]) -> None:
+    def merge_samples(
+        self,
+        samples: Dict[str, dict],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """Fold exported samples (another registry's :meth:`to_dict`)
         into this registry.
 
         Used by the parallel protection pipeline to combine per-worker
-        registries into one: counters add, gauges take the incoming
-        value (workers are merged in deterministic input order, so the
-        result is reproducible), histograms add per-bucket counts.
+        registries into one, and by telemetry contexts to merge scoped
+        child registries into the global one: counters add, gauges take
+        the incoming value (workers are merged in deterministic input
+        order, so the result is reproducible), histograms add
+        per-bucket counts.  ``extra_labels`` are stamped under each
+        sample's own labels (the sample's labels win on conflict); the
+        receiving registry's ``base_labels`` apply on top as usual.
         A disabled registry ignores merges, matching its accessors.
         """
         if not self.enabled:
             return
-        for name, sample in samples.items():
+        extra = _normalize_labels(extra_labels)
+        for key_name, sample in samples.items():
             kind = sample.get("type")
+            name = sample.get("name") or key_name.split("{", 1)[0]
+            labels = dict(extra)
+            labels.update(sample.get("labels") or {})
             if kind == "counter":
-                self.counter(name).inc(int(sample["value"]))
+                self.counter(name, labels=labels).inc(int(sample["value"]))
             elif kind == "gauge":
-                self.gauge(name).set(sample["value"])
+                self.gauge(name, labels=labels).set(sample["value"])
             elif kind == "histogram":
                 bounds = tuple(
                     float(b["le"]) for b in sample["buckets"] if b["le"] != "+Inf"
                 )
-                histogram = self.histogram(name, buckets=bounds or (1.0,))
+                histogram = self.histogram(
+                    name, buckets=bounds or (1.0,), labels=labels
+                )
                 if histogram.buckets != bounds:
                     raise ValueError(
-                        f"histogram {name}: bucket bounds differ, cannot merge"
+                        f"histogram {key_name}: bucket bounds differ, cannot merge"
                     )
                 for index, bucket in enumerate(sample["buckets"]):
                     histogram.counts[index] += bucket["count"]
@@ -482,6 +665,8 @@ class MetricsRegistry:
             else:
                 raise ValueError(f"cannot merge sample of type {kind!r}")
 
+    # -- export ---------------------------------------------------------
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
@@ -492,8 +677,8 @@ class MetricsRegistry:
             fh.write("\n")
 
     def iter_samples(self) -> Iterable[dict]:
-        for name in sorted(self._instruments):
-            yield self._instruments[name].to_dict()
+        for sample in self.to_dict().values():
+            yield sample
 
     def write_jsonl(self, path: str) -> None:
         _ensure_parent_dir(path)
@@ -504,4 +689,4 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"
-        return f"<MetricsRegistry {state}, {len(self._instruments)} instruments>"
+        return f"<MetricsRegistry {state}, {len(self)} instruments>"

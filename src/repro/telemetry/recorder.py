@@ -19,7 +19,10 @@ Event kinds recorded by the instrumented subsystems:
                           which coherence tier caught it: ``page`` for
                           the per-page write-version compare, ``store``
                           for an in-block self-modifying store)
+``trace_compile``         the trace engine compiled a linked trace
+``trace_invalidate``      a linked trace was discarded
 ``attack``                one attack evaluation scored
+``pipeline.task``         one pipeline task merged back in the parent
 ========================  =============================================
 
 Design constraints (mirroring :mod:`repro.telemetry.metrics`):
@@ -27,7 +30,9 @@ Design constraints (mirroring :mod:`repro.telemetry.metrics`):
 * **Bounded.**  Events live in a ring (``collections.deque`` with
   ``maxlen``); the newest ``capacity`` events are kept and ``dropped``
   counts the overwritten ones.  The journal can never grow without
-  bound, so it is safe to leave enabled in long runs.
+  bound, so it is safe to leave enabled in long runs.  The default
+  capacity (8192) is overridable via ``REPRO_RECORDER_EVENTS`` or the
+  CLI's ``--recorder-events``.
 * **Near-zero when disabled.**  The process-wide recorder starts
   disabled; :meth:`FlightRecorder.record` returns immediately and hot
   call sites additionally guard with ``if recorder.enabled`` so the
@@ -35,37 +40,84 @@ Design constraints (mirroring :mod:`repro.telemetry.metrics`):
 * **Monotonic timestamps.**  Events carry :func:`time.perf_counter`
   offsets from the recorder's creation, plus one wall-clock anchor
   (``start_wall``) so exports can be correlated with span traces.
+* **Subscribable.**  :meth:`subscribe` registers a callback that sees
+  every event as a dict, live — the feed that powers rolling windows
+  (:mod:`repro.telemetry.windows`) and ``--journal-follow`` NDJSON
+  streaming.  With no subscribers the cost is one truthiness check.
+* **Self-accounting.**  Every 256th ``record`` times itself and
+  extrapolates into ``self_seconds`` — the recorder's own overhead,
+  exported as ``telemetry.overhead.*`` (see
+  :mod:`repro.telemetry.overhead`) so the <5% enabled-overhead budget
+  is measurable from inside a run.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import deque
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 from .metrics import _ensure_parent_dir
 
-__all__ = ["FlightRecorder", "get_recorder", "set_recorder"]
+__all__ = [
+    "FlightRecorder",
+    "get_recorder",
+    "set_recorder",
+    "default_capacity",
+]
+
+#: Environment variable overriding the default ring capacity.
+CAPACITY_ENV = "REPRO_RECORDER_EVENTS"
+
+#: One in this many ``record`` calls is timed for self-accounting.
+_SELF_SAMPLE_EVERY = 256
+
+
+def default_capacity() -> int:
+    """The configured default ring capacity (env override or 8192)."""
+    raw = os.environ.get(CAPACITY_ENV)
+    if raw is None:
+        return FlightRecorder.DEFAULT_CAPACITY
+    capacity = int(raw)
+    if capacity < 1:
+        raise ValueError(f"{CAPACITY_ENV} must be >= 1, got {capacity}")
+    return capacity
 
 
 class FlightRecorder:
     """Ring-buffered structured event journal."""
 
-    #: Default ring capacity (events retained).
+    #: Built-in default ring capacity (events retained) when neither a
+    #: constructor argument nor ``REPRO_RECORDER_EVENTS`` overrides it.
     DEFAULT_CAPACITY = 8192
 
-    __slots__ = ("enabled", "capacity", "start_wall", "_t0", "_events", "_seq")
+    __slots__ = (
+        "enabled",
+        "capacity",
+        "start_wall",
+        "self_seconds",
+        "_t0",
+        "_events",
+        "_seq",
+        "_subscribers",
+    )
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY, enabled: bool = True):
+    def __init__(self, capacity: Optional[int] = None, enabled: bool = True):
+        if capacity is None:
+            capacity = default_capacity()
         if capacity < 1:
             raise ValueError("recorder capacity must be >= 1")
         self.enabled = enabled
         self.capacity = capacity
         self.start_wall = time.time()
+        #: Extrapolated seconds spent inside ``record`` (sampled).
+        self.self_seconds = 0.0
         self._t0 = time.perf_counter()
         self._events: deque = deque(maxlen=capacity)
         self._seq = 0
+        self._subscribers: List[Callable[[dict], None]] = []
 
     # -- recording ------------------------------------------------------
 
@@ -73,14 +125,79 @@ class FlightRecorder:
         """Append one event; no-op while disabled.
 
         ``fields`` must be JSON-serializable; ``seq``, ``ts`` and
-        ``kind`` are reserved names.
+        ``kind`` are reserved names.  Subscribers see the event as a
+        dict immediately after it is retained.
         """
         if not self.enabled:
             return
-        self._seq += 1
-        self._events.append(
-            (self._seq, time.perf_counter() - self._t0, kind, fields)
-        )
+        seq = self._seq + 1
+        self._seq = seq
+        sampled = not seq % _SELF_SAMPLE_EVERY
+        started = time.perf_counter() if sampled else 0.0
+        ts = time.perf_counter() - self._t0
+        self._events.append((seq, ts, kind, fields))
+        if self._subscribers:
+            event = {"type": "event", "seq": seq, "ts": round(ts, 9), "kind": kind}
+            event.update(fields)
+            for subscriber in self._subscribers:
+                subscriber(event)
+        if sampled:
+            self.self_seconds += (
+                (time.perf_counter() - started) * _SELF_SAMPLE_EVERY
+            )
+
+    def ingest(
+        self,
+        events: Iterable[dict],
+        labels: Optional[Dict[str, str]] = None,
+        pid: Optional[int] = None,
+    ) -> int:
+        """Adopt events exported by another recorder (a pool worker).
+
+        Each event is re-recorded here — new sequence numbers, this
+        recorder's clock — preserving the original fields; the worker's
+        own relative timestamp survives as ``worker_ts`` and ``pid``
+        and ``labels`` (as the ``ctx`` field) ride along.  Ingested
+        events flow through subscribers like locally recorded ones, so
+        live views see pool workers' events as results merge.  Returns
+        the number of events adopted.
+        """
+        if not self.enabled:
+            return 0
+        adopted = 0
+        for event in events:
+            if event.get("type") != "event":
+                continue
+            fields = {
+                k: v
+                for k, v in event.items()
+                if k not in ("type", "seq", "ts", "kind")
+            }
+            if "ts" in event:
+                fields.setdefault("worker_ts", event["ts"])
+            if pid is not None:
+                fields.setdefault("pid", pid)
+            if labels:
+                ctx = dict(labels)
+                ctx.update(fields.get("ctx") or {})
+                fields["ctx"] = ctx
+            self.record(event.get("kind", "?"), **fields)
+            adopted += 1
+        return adopted
+
+    # -- subscriptions ---------------------------------------------------
+
+    def subscribe(self, callback: Callable[[dict], None]) -> Callable:
+        """Register ``callback`` for every future event; returns it."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[dict], None]) -> None:
+        """Remove a subscriber registered with :meth:`subscribe`."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     # -- introspection --------------------------------------------------
 
@@ -102,6 +219,7 @@ class FlightRecorder:
     def clear(self) -> None:
         self._events.clear()
         self._seq = 0
+        self.self_seconds = 0.0
 
     # -- export ---------------------------------------------------------
 
@@ -123,6 +241,7 @@ class FlightRecorder:
             "dropped": self.dropped,
             "capacity": self.capacity,
             "start_wall": self.start_wall,
+            "self_seconds": round(self.self_seconds, 9),
             "kinds": self.kinds(),
         }
 
@@ -130,8 +249,8 @@ class FlightRecorder:
         """Write the journal (events + summary) as JSONL to ``fh``.
 
         Used for on-demand dumps and crash dumps alike — the CLI calls
-        this from a ``finally`` so a faulting run still leaves its
-        journal behind.
+        this from a ``finally`` (and from its SIGTERM/SIGINT handlers)
+        so a faulting or killed run still leaves its journal behind.
         """
         for event in self.iter_events():
             fh.write(json.dumps(event, sort_keys=True))
@@ -156,8 +275,23 @@ class FlightRecorder:
 _recorder = FlightRecorder(enabled=False)
 
 
-def get_recorder() -> FlightRecorder:
-    """The process-wide flight recorder (disabled until configured)."""
+def get_recorder():
+    """The process-wide flight recorder (disabled until configured).
+
+    When a task-private override (:class:`~repro.telemetry.context.\
+task_telemetry`) is installed on this thread, its recorder wins.
+    Otherwise, when a :class:`~repro.telemetry.context.TelemetryContext`
+    is active, a view that stamps the context's labels onto every event
+    is returned instead — same recorder, same ring, labeled events.
+    """
+    from .context import current_context, current_task_telemetry
+
+    task = current_task_telemetry()
+    if task is not None and task.recorder is not None:
+        return task.recorder
+    ctx = current_context()
+    if ctx is not None:
+        return ctx.recorder
     return _recorder
 
 

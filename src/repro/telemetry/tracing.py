@@ -200,7 +200,10 @@ class Tracer:
     # -- ingest (spans exported by another tracer) ----------------------
 
     def ingest(
-        self, events: List[dict], parent_id: Optional[int] = None
+        self,
+        events: List[dict],
+        parent_id: Optional[int] = None,
+        extra_attributes: Optional[dict] = None,
     ) -> List[Span]:
         """Adopt finished spans exported by another tracer's
         :meth:`to_events`.
@@ -212,6 +215,12 @@ class Tracer:
         the source tracer are re-parented under ``parent_id``.
         Wall-clock ``start_ts`` and durations are preserved; a disabled
         tracer ignores ingests, matching :meth:`span`.
+
+        ``extra_attributes`` are stamped onto every adopted span — the
+        pipeline tags worker spans ``worker_pid`` so the Chrome-trace
+        exporter can lane them per process, and telemetry contexts tag
+        flushed spans ``ctx.*`` with their label set.  The span's own
+        attributes win on key collisions.
         """
         if not self.enabled:
             return []
@@ -226,13 +235,18 @@ class Tracer:
             if event.get("type") != "span":
                 continue
             old_parent = event.get("parent_id")
+            attributes = event.get("attributes")
+            if extra_attributes:
+                merged = dict(extra_attributes)
+                merged.update(attributes or {})
+                attributes = merged
             span = Span(
                 event["name"],
                 span_id=id_map[event["span_id"]],
                 parent_id=id_map.get(old_parent, parent_id)
                 if old_parent is not None
                 else parent_id,
-                attributes=event.get("attributes"),
+                attributes=attributes,
             )
             span.start_wall = event.get("start_ts", span.start_wall)
             span.end = span.start + event.get("duration_s", 0.0)

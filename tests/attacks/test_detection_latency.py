@@ -134,9 +134,14 @@ def test_latency_histograms_per_attack_rule_cell(
     overall = samples["attacks.cycles_to_detection"]
     assert overall["count"] == 1
     assert overall["sum"] == outcome.cycles_to_detection
-    cell = samples["attacks.cycles_to_detection.static.existing_near_ret"]
+    cell = samples[
+        'attacks.cycles_to_detection{attack="static",rule="existing_near_ret"}'
+    ]
     assert cell["count"] == 1
-    assert "attacks.cycles_to_corruption.static.existing_near_ret" in samples
+    assert (
+        'attacks.cycles_to_corruption{attack="static",rule="existing_near_ret"}'
+        in samples
+    )
 
 
 def test_outcome_to_dict_round_trips(

@@ -147,7 +147,7 @@ def test_metrics_export_flushes_auto_profiler():
     registry = MetricsRegistry(enabled=True)
     emu._record_engine_metrics(registry)
     samples = registry.to_dict()
-    assert samples["emu.hot.mnemonic.add"]["value"] >= 50
+    assert samples['emu.hot.mnemonic{mnemonic="add"}']["value"] >= 50
     # auto-installed profilers are cleared after the flush so repeated
     # runs do not double-count
     assert emu.hotspots.total_samples == 0
@@ -161,7 +161,7 @@ def test_metrics_export_retains_explicit_profiler():
     registry = MetricsRegistry(enabled=True)
     emu._record_engine_metrics(registry)
     samples = registry.to_dict()
-    assert any(name.startswith("emu.hot.block.") for name in samples)
+    assert any(name.startswith("emu.hot.block{") for name in samples)
     assert mine.total_samples > 0  # left intact for the caller
 
 
@@ -172,6 +172,6 @@ def test_run_under_metrics_session_exports_hot_counters(monkeypatch):
         emu.cpu.eip = BASE
         emu.run()  # the bare `ret` faults; metrics still flush
         samples = metrics.to_dict()
-    hot_names = [n for n in samples if n.startswith("emu.hot.mnemonic.")]
+    hot_names = [n for n in samples if n.startswith("emu.hot.mnemonic{")]
     assert hot_names, "run() must auto-install and flush the profiler"
     assert emu.hotspots is not None and emu.hotspots.total_samples == 0

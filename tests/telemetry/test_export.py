@@ -178,8 +178,8 @@ def _engine_samples():
     registry.counter("emu.instructions").inc(12345)
     registry.counter("emu.cycles").inc(23456)
     for mnemonic, count in (("mov", 500), ("add", 300), ("ret", 200)):
-        registry.counter(f"emu.hot.mnemonic.{mnemonic}").inc(count)
-    registry.counter("emu.hot.block.0x00001000").inc(42)
+        registry.counter("emu.hot.mnemonic", labels={"mnemonic": mnemonic}).inc(count)
+    registry.counter("emu.hot.block", labels={"addr": "0x00001000"}).inc(42)
     return registry.to_dict()
 
 
