@@ -11,11 +11,17 @@ entirely:
   (section bytes, virtual addresses, finder/config knobs, and a
   per-namespace version stamp so stale entries die on algorithm
   changes);
-* every namespace has an **in-memory LRU tier** bounded by entry count;
+* every namespace has an **in-memory LRU tier** bounded by entry count
+  and **sharded by key space** (:class:`ShardedLRUTier`): each shard
+  has its own lock, so concurrent readers/writers of different keys —
+  the serving layer's steady state — never contend on one mutex;
 * an optional **on-disk tier** (``configure_cache(cache_dir=...)`` or
   the ``REPRO_CACHE_DIR`` environment variable) persists entries across
   processes — this is what makes warm ``protect-all`` reruns and
-  parallel workers cheap;
+  parallel workers cheap.  Disk entries live in **per-shard
+  directories** (``<ns>/shard-<nn>/``) so concurrent writers spread
+  their directory operations; entries from the pre-shard flat layout
+  (``<ns>/<key[:2]>/``) are migrated lazily on first read;
 * caching is **opt-in per process**: the default manager is disabled
   unless ``REPRO_CACHE_DIR`` is set, so plain library/CLI use is
   untouched; ``configure_cache()`` / ``cache_session()`` (and the
@@ -50,7 +56,9 @@ from .telemetry import get_metrics
 __all__ = [
     "content_key",
     "package_source_digest",
+    "shard_index",
     "LRUTier",
+    "ShardedLRUTier",
     "DiskTier",
     "ContentCache",
     "CacheManager",
@@ -63,6 +71,10 @@ __all__ = [
 
 #: Default bound for every in-memory LRU tier.
 DEFAULT_MEMORY_ENTRIES = 256
+
+#: Default shard count for both the memory tier's lock striping and the
+#: disk tier's per-shard directories.
+DEFAULT_SHARDS = 16
 
 #: Sentinel distinguishing "miss" from a cached ``None``.
 _MISS = object()
@@ -145,6 +157,24 @@ def content_key(*parts: Any) -> str:
     return digest.hexdigest()
 
 
+def shard_index(key: str, shards: int) -> int:
+    """Deterministic shard for ``key`` (a SHA-256 hex digest).
+
+    Uses the leading digest bits, so the assignment is stable across
+    processes and Python hash randomization — a requirement for the
+    disk tier, where the shard is part of the entry's path.
+    """
+    if shards <= 1:
+        return 0
+    try:
+        return int(key[:8], 16) % shards
+    except ValueError:
+        # Non-hex keys (tests, ad-hoc callers) still shard stably.
+        return int.from_bytes(
+            hashlib.sha256(key.encode("utf-8")).digest()[:4], "big"
+        ) % shards
+
+
 class LRUTier:
     """Bounded in-memory key -> value store with LRU eviction."""
 
@@ -180,32 +210,135 @@ class LRUTier:
             self._entries.clear()
 
 
-class DiskTier:
-    """Pickle-per-entry on-disk store, sharded by digest prefix.
+class ShardedLRUTier:
+    """Key-space-sharded LRU store: one lock and one LRU per shard.
 
-    Writes are atomic (temp file + rename) so concurrent workers can
-    share one directory; reads treat any malformed entry as a miss.
+    Presents the same ``get``/``put``/``clear`` interface as
+    :class:`LRUTier`, but spreads keys over ``shards`` independent
+    tiers so concurrent writers of *different* keys — the serving
+    layer's steady state under load — take different locks.  The total
+    entry bound is preserved by giving each shard
+    ``ceil(max_entries / shards)`` slots.
     """
 
-    def __init__(self, root: str):
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MEMORY_ENTRIES,
+        shards: int = DEFAULT_SHARDS,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.shards = shards
+        per_shard = max(1, -(-max_entries // shards))
+        self._tiers = [LRUTier(per_shard) for _ in range(shards)]
+
+    def _tier(self, key: str) -> LRUTier:
+        return self._tiers[shard_index(key, self.shards)]
+
+    def get(self, key: str) -> Any:
+        return self._tier(key).get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self._tier(key).put(key, value)
+
+    def __len__(self) -> int:
+        return sum(len(tier) for tier in self._tiers)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._tier(key)
+
+    def clear(self) -> None:
+        for tier in self._tiers:
+            tier.clear()
+
+
+class DiskTier:
+    """Pickle-per-entry on-disk store with per-shard directories.
+
+    Entries live under ``<root>/<namespace>/shard-<nn>/<key>.pkl``
+    where ``nn`` is :func:`shard_index` of the key, so concurrent
+    writers spread directory creation and rename traffic over
+    ``shards`` directories instead of contending on one.  Writes are
+    atomic (temp file + ``os.replace``), which is the whole same-key
+    story: any number of processes may race one key and the directory
+    ends up with exactly one valid entry — the last rename wins, and a
+    reader sees either a complete old blob or a complete new one,
+    never a torn mix.  Reads treat any malformed entry as a miss.
+
+    Entries written by the pre-shard flat layout
+    (``<root>/<namespace>/<key[:2]>/<key>.pkl``) are found on read and
+    migrated into their shard directory in place
+    (``migrations`` counts them); :meth:`migrate_namespace` sweeps a
+    whole namespace eagerly.
+    """
+
+    def __init__(self, root: str, shards: int = DEFAULT_SHARDS):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.root = root
+        self.shards = shards
+        #: Entries moved from the legacy flat layout, process-lifetime.
+        self.migrations = 0
         os.makedirs(root, exist_ok=True)
+        # Per-shard locks serialize only the mkdir memoization — the
+        # data plane relies on atomic renames, not locking.
+        self._shard_locks = [threading.Lock() for _ in range(shards)]
+        self._ready_dirs = set()
+        self._ready_lock = threading.Lock()
 
     def _path(self, namespace: str, key: str) -> str:
+        shard = shard_index(key, self.shards)
+        return os.path.join(
+            self.root, namespace, f"shard-{shard:02x}", key + ".pkl"
+        )
+
+    def _legacy_path(self, namespace: str, key: str) -> str:
         return os.path.join(self.root, namespace, key[:2], key + ".pkl")
+
+    def _ensure_dir(self, directory: str, key: str) -> None:
+        with self._ready_lock:
+            ready = directory in self._ready_dirs
+        if ready:
+            return
+        with self._shard_locks[shard_index(key, self.shards)]:
+            os.makedirs(directory, exist_ok=True)
+        with self._ready_lock:
+            self._ready_dirs.add(directory)
+
+    def _migrate_entry(self, namespace: str, key: str, blob: bytes) -> None:
+        """Adopt a legacy flat-layout entry into its shard directory."""
+        self.put_blob(namespace, key, blob)
+        try:
+            os.unlink(self._legacy_path(namespace, key))
+        except OSError:
+            pass
+        self.migrations += 1
 
     def get_blob(self, namespace: str, key: str) -> Optional[bytes]:
         try:
             with open(self._path(namespace, key), "rb") as fh:
                 return fh.read()
         except OSError:
+            pass
+        # Pre-shard layout fallback: migrate the entry where it lies so
+        # pointing a sharded store at an old cache dir keeps every warm
+        # entry and converges on the sharded layout as keys are read.
+        try:
+            with open(self._legacy_path(namespace, key), "rb") as fh:
+                blob = fh.read()
+        except OSError:
             return None
+        self._migrate_entry(namespace, key, blob)
+        return blob
 
     def put_blob(self, namespace: str, key: str, blob: bytes) -> None:
         path = self._path(namespace, key)
         directory = os.path.dirname(path)
         try:
-            os.makedirs(directory, exist_ok=True)
+            self._ensure_dir(directory, key)
             fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
@@ -221,6 +354,44 @@ class DiskTier:
             # Cache writes are best-effort: a full or read-only disk
             # must never fail the protection run itself.
             pass
+
+    def migrate_namespace(self, namespace: str) -> int:
+        """Eagerly move every legacy flat-layout entry into its shard.
+
+        Returns the number of entries migrated.  Safe to run while
+        other processes read/write the namespace: moves are atomic
+        renames and an entry is readable from one layout or the other
+        at every instant.
+        """
+        base = os.path.join(self.root, namespace)
+        moved = 0
+        try:
+            subdirs = sorted(os.listdir(base))
+        except OSError:
+            return 0
+        for sub in subdirs:
+            if sub.startswith("shard-"):
+                continue
+            legacy_dir = os.path.join(base, sub)
+            if not os.path.isdir(legacy_dir):
+                continue
+            for name in sorted(os.listdir(legacy_dir)):
+                if not name.endswith(".pkl"):
+                    continue
+                key = name[: -len(".pkl")]
+                target = self._path(namespace, key)
+                self._ensure_dir(os.path.dirname(target), key)
+                try:
+                    os.replace(os.path.join(legacy_dir, name), target)
+                except OSError:
+                    continue
+                self.migrations += 1
+                moved += 1
+            try:
+                os.rmdir(legacy_dir)
+            except OSError:
+                pass
+        return moved
 
     def entry_count(self, namespace: Optional[str] = None) -> int:
         count = 0
@@ -281,7 +452,10 @@ class ContentCache:
                 return True, pickle.loads(entry)
             return True, entry
         if self.disk is not None and self.use_disk:
+            migrations = self.disk.migrations
             blob = self.disk.get_blob(self.namespace, key)
+            if self.disk.migrations != migrations:
+                self._count("disk_migrated", self.disk.migrations - migrations)
             if blob is not None:
                 try:
                     value = pickle.loads(blob)
@@ -327,10 +501,14 @@ class CacheManager:
         cache_dir: Optional[str] = None,
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
         enabled: bool = True,
+        shards: int = DEFAULT_SHARDS,
     ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.memory_entries = memory_entries
         self.enabled = enabled
-        self.disk = DiskTier(cache_dir) if cache_dir else None
+        self.shards = shards
+        self.disk = DiskTier(cache_dir, shards=shards) if cache_dir else None
         self._caches: Dict[str, ContentCache] = {}
         self._lock = threading.Lock()
 
@@ -344,7 +522,7 @@ class CacheManager:
             if cache is None:
                 cache = ContentCache(
                     namespace,
-                    memory=LRUTier(self.memory_entries),
+                    memory=ShardedLRUTier(self.memory_entries, self.shards),
                     disk=self.disk,
                     store_blobs=store_blobs,
                     use_disk=namespace not in self.MEMORY_ONLY,
@@ -375,6 +553,7 @@ def configure_cache(
     cache_dir: Optional[str] = None,
     memory_entries: int = DEFAULT_MEMORY_ENTRIES,
     enabled: bool = True,
+    shards: int = DEFAULT_SHARDS,
 ) -> CacheManager:
     """Replace the process-wide cache manager; returns the new one.
 
@@ -384,7 +563,10 @@ def configure_cache(
     """
     global _manager
     _manager = CacheManager(
-        cache_dir=cache_dir, memory_entries=memory_entries, enabled=enabled
+        cache_dir=cache_dir,
+        memory_entries=memory_entries,
+        enabled=enabled,
+        shards=shards,
     )
     return _manager
 
@@ -406,12 +588,16 @@ def cache_session(
     cache_dir: Optional[str] = None,
     memory_entries: int = DEFAULT_MEMORY_ENTRIES,
     enabled: bool = True,
+    shards: int = DEFAULT_SHARDS,
 ):
     """Scoped cache manager for tests; restores the previous one."""
     global _manager
     previous = _manager
     _manager = CacheManager(
-        cache_dir=cache_dir, memory_entries=memory_entries, enabled=enabled
+        cache_dir=cache_dir,
+        memory_entries=memory_entries,
+        enabled=enabled,
+        shards=shards,
     )
     try:
         yield _manager

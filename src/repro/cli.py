@@ -15,6 +15,11 @@ Commands:
   uncovered regions;
 * ``protect-all``               — protect the whole corpus, optionally
   in parallel (``--jobs``) and cached on disk (``--cache-dir``);
+* ``serve``                     — protection-as-a-service daemon:
+  protect / verify / attack-matrix over HTTP with single-flight
+  deduplication, a sharded response cache, per-tenant quotas, batched
+  pool scheduling, and ``/metrics`` + ``/stats`` + ``/journal``
+  introspection;
 * ``stats ARTIFACT...``         — human dashboard over any exported
   telemetry artifact (metrics JSON, span/journal JSONL, Chrome trace);
 * ``top JOURNAL``               — live, self-refreshing dashboard over
@@ -444,6 +449,40 @@ def _cmd_protect_all(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+        queue_depth=args.queue_depth,
+        batch_max=args.batch_max,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        window_seconds=args.window,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def announce(server) -> None:
+        print(
+            f"repro serve: listening on http://{config.host}:{server.port} "
+            f"(jobs={config.jobs}, executor={config.executor}, "
+            f"batch_max={config.batch_max}, queue_depth={config.queue_depth})",
+            flush=True,
+        )
+        if server.migrated_entries:
+            print(
+                f"repro serve: migrated {server.migrated_entries} cache "
+                "entries to the sharded layout",
+                flush=True,
+            )
+
+    return serve(config, announce=announce)
+
+
 def _cmd_top(args) -> int:
     from .telemetry.top import run_top
 
@@ -575,6 +614,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-program results as JSON")
     _add_telemetry_args(p_all)
     p_all.set_defaults(func=_cmd_protect_all)
+
+    p_serve = sub.add_parser(
+        "serve", help="protection-as-a-service HTTP daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8437,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default: 8437)")
+    p_serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="worker pool size (default: 2)")
+    p_serve.add_argument("--executor", choices=("process", "thread"),
+                         default="process",
+                         help="worker pool kind (default: process)")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="sharded on-disk response/protect cache at DIR "
+                              "(default: $REPRO_CACHE_DIR, else memory-only)")
+    p_serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                         help="max pending jobs before 429 backpressure "
+                              "(default: 64)")
+    p_serve.add_argument("--batch-max", type=int, default=4, metavar="N",
+                         help="max jobs packed into one pool dispatch "
+                              "(default: 4)")
+    p_serve.add_argument("--quota-rate", type=float, default=0.0,
+                         metavar="PER_SECOND",
+                         help="per-tenant token-bucket refill rate "
+                              "(default: 0 = unlimited)")
+    p_serve.add_argument("--quota-burst", type=float, default=None,
+                         metavar="TOKENS",
+                         help="per-tenant burst capacity "
+                              "(default: max(1, 2x rate))")
+    p_serve.add_argument("--window", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="rolling-window width for /stats "
+                              "(default: 30s)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="max seconds to wait for in-flight requests "
+                              "on shutdown (default: 30s)")
+    _add_telemetry_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser(
         "stats", help="dashboard over exported telemetry artifacts"

@@ -1,0 +1,93 @@
+"""Per-tenant token-bucket quotas for the serving layer.
+
+Classic token bucket: a tenant's bucket refills at ``rate`` tokens per
+second up to ``burst`` capacity; each admitted request spends one
+token.  When the bucket is empty the request is rejected with the
+number of seconds until a token will be available — the server turns
+that into ``429`` + ``Retry-After``.
+
+Time is injected (``clock`` callable), so the tests drive the bucket
+deterministically; the server uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["TokenBucket", "QuotaManager"]
+
+
+class TokenBucket:
+    """One tenant's bucket.  ``rate <= 0`` means unlimited."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0):
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.updated = now
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> float:
+        """Spend ``cost`` tokens; returns 0.0 on success, else the
+        seconds until the deficit refills (the Retry-After hint)."""
+        if self.rate <= 0:
+            return 0.0
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        return (cost - self.tokens) / self.rate
+
+
+class QuotaManager:
+    """Token buckets keyed by tenant, created on first sight.
+
+    One lock guards the table; buckets themselves are only touched
+    under it.  Admission is O(1) and the table is bounded by the
+    number of distinct tenants seen (the server's cardinality story —
+    tenants are client-supplied but the metrics registry's series
+    guard caps the damage of a hostile tenant flood).
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, 2 * rate)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate <= 0
+
+    def try_acquire(self, tenant: str, cost: float = 1.0) -> float:
+        """0.0 when admitted; otherwise seconds until retry is viable."""
+        if self.unlimited:
+            return 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, now
+                )
+            return bucket.try_acquire(now, cost)
+
+    def retry_after_header(self, wait: float) -> str:
+        """``Retry-After`` wants integral seconds; round up, floor 1."""
+        return str(max(1, int(math.ceil(wait))))
+
+    def tenants(self) -> int:
+        with self._lock:
+            return len(self._buckets)

@@ -125,6 +125,16 @@ class TopDashboard:
         self._hot_blocks: Dict[str, int] = {}
         self._context_totals: Dict[str, Dict[str, int]] = {}
         self._started_wall = time.time()
+        # Serve lane: single-flight role mix, backpressure, live queue
+        # gauges and per-tenant throughput from `repro serve` journals.
+        self._serve_roles: Dict[str, int] = {}
+        self._serve_rejects: Dict[str, int] = {}
+        self._serve_inflight = 0
+        self._serve_queued = 0
+        self._serve_tenants: Dict[str, int] = {}
+        self._serve_tenant_windows = WindowSet(
+            window_seconds=window_seconds, group_by="tenant"
+        )
 
     # -- feeding --------------------------------------------------------
 
@@ -157,6 +167,24 @@ class TopDashboard:
             if start is not None:
                 key = start if isinstance(start, str) else f"{start:#x}"
                 self._hot_blocks[key] = self._hot_blocks.get(key, 0) + 1
+        elif kind == "serve.request":
+            role = record.get("singleflight", "?")
+            self._serve_roles[role] = self._serve_roles.get(role, 0) + 1
+            inflight = record.get("in_flight")
+            if isinstance(inflight, int):
+                self._serve_inflight = inflight
+            queued = record.get("queued")
+            if isinstance(queued, int):
+                self._serve_queued = queued
+            tenant = (record.get("ctx") or {}).get("tenant")
+            if tenant is not None:
+                self._serve_tenants[tenant] = (
+                    self._serve_tenants.get(tenant, 0) + 1
+                )
+                self._serve_tenant_windows.feed_event(record)
+        elif kind == "serve.reject":
+            reason = record.get("reason", "?")
+            self._serve_rejects[reason] = self._serve_rejects.get(reason, 0) + 1
         ctx = record.get("ctx")
         if ctx:
             lane = ",".join(f"{k}={v}" for k, v in sorted(ctx.items()))
@@ -199,6 +227,52 @@ class TopDashboard:
                 f"  {kind:<16} {self.totals[kind]:>10,}"
                 f"  {_fmt_rate(rate)}  ewma {_fmt_rate(ewma)}{lat}"
             )
+        return rows
+
+    def _serve_rows(self, now: float) -> List[str]:
+        """The serving lane: role mix, backpressure, gauges, tenants."""
+        total = sum(self._serve_roles.values())
+        rejected = sum(self._serve_rejects.values())
+        if not total and not rejected:
+            return []
+        rows = []
+        coalesced = total - self._serve_roles.get("leader", 0)
+        role_bits = "  ".join(
+            f"{role} {self._serve_roles[role]:,}"
+            for role in ("leader", "cache-hit", "follower")
+            if role in self._serve_roles
+        )
+        rows.append(
+            f"serve              {total:>10,} req   "
+            f"coalesced {_fmt_pct(coalesced, total)}   {role_bits}"
+        )
+        gauge_bits = (
+            f"  in flight {self._serve_inflight:,}"
+            f"   queued {self._serve_queued:,}"
+        )
+        if rejected:
+            reject_bits = ", ".join(
+                f"{reason} {count:,}"
+                for reason, count in sorted(self._serve_rejects.items())
+            )
+            gauge_bits += f"   rejected {rejected:,} ({reject_bits})"
+        rows.append(gauge_bits)
+        if self._serve_tenants:
+            rows.append("  tenants")
+            ranked = sorted(
+                self._serve_tenants.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            for tenant, count in ranked[: self.HOT_LIMIT]:
+                key = f"serve.request[tenant={tenant}]"
+                window = self._serve_tenant_windows.rate_window(key)
+                rate = window.rate(now) if window else 0.0
+                seconds = self._serve_tenant_windows.value_window(key, "seconds")
+                lat = ""
+                if seconds is not None and seconds.count(now):
+                    lat = f"  p95 {seconds.quantile(0.95, now) * 1e3:8.2f}ms"
+                rows.append(
+                    f"    {tenant:<14} {count:>8,} req  {_fmt_rate(rate)}{lat}"
+                )
         return rows
 
     def render(self, now: Optional[float] = None) -> str:
@@ -251,6 +325,7 @@ class TopDashboard:
                 f"{start} x{count}" for start, count in ranked[: self.HOT_LIMIT]
             )
             lines.append(f"hot blocks         {shown}")
+        lines.extend(self._serve_rows(now))
         if self._context_totals:
             lines.append("contexts")
             for lane in sorted(self._context_totals):

@@ -1,0 +1,239 @@
+"""Sharded cache store: key-space sharding, layout migration, and the
+cross-process same-key write race the serving layer depends on."""
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.cache import (
+    DEFAULT_SHARDS,
+    CacheManager,
+    DiskTier,
+    ShardedLRUTier,
+    content_key,
+    shard_index,
+)
+
+
+def keys(n, salt=""):
+    return [content_key("shardtest", salt, i) for i in range(n)]
+
+
+# -- shard assignment ---------------------------------------------------
+
+
+def test_shard_index_is_deterministic_and_in_range():
+    for key in keys(200):
+        first = shard_index(key, 16)
+        assert 0 <= first < 16
+        assert shard_index(key, 16) == first
+
+
+def test_shard_index_single_shard_is_zero():
+    assert all(shard_index(key, 1) == 0 for key in keys(20))
+
+
+def test_shard_index_handles_non_hex_keys():
+    assert 0 <= shard_index("not-a-digest", 16) < 16
+    assert shard_index("not-a-digest", 16) == shard_index("not-a-digest", 16)
+
+
+def test_shard_index_spreads_keys():
+    counts = [0] * 16
+    for key in keys(1600):
+        counts[shard_index(key, 16)] += 1
+    # SHA-256 keys spread essentially uniformly; no shard should be
+    # empty or grossly overloaded at 100x expected-per-shard samples.
+    assert all(count > 0 for count in counts)
+    assert max(counts) < 3 * (1600 // 16)
+
+
+# -- sharded memory tier ------------------------------------------------
+
+
+def test_sharded_lru_roundtrip_and_len():
+    tier = ShardedLRUTier(max_entries=64, shards=8)
+    for i, key in enumerate(keys(32)):
+        tier.put(key, i)
+    assert len(tier) == 32
+    for i, key in enumerate(keys(32)):
+        assert key in tier
+        assert tier.get(key) == i
+    tier.clear()
+    assert len(tier) == 0
+
+
+def test_sharded_lru_bounds_entries():
+    tier = ShardedLRUTier(max_entries=16, shards=4)
+    for i, key in enumerate(keys(400)):
+        tier.put(key, i)
+    # Per-shard budget is ceil(16/4) = 4, so the total stays bounded
+    # by shards * per-shard = 16 no matter how many keys pass through.
+    assert len(tier) <= 16
+
+
+# -- sharded disk layout ------------------------------------------------
+
+
+def test_disk_tier_writes_into_shard_directories(tmp_path):
+    disk = DiskTier(str(tmp_path), shards=16)
+    for key in keys(24):
+        disk.put_blob("unit", key, pickle.dumps(key))
+    for key in keys(24):
+        expected = os.path.join(
+            str(tmp_path), "unit", f"shard-{shard_index(key, 16):02x}",
+            key + ".pkl",
+        )
+        assert os.path.exists(expected)
+        assert disk.get_blob("unit", key) == pickle.dumps(key)
+    shard_dirs = [
+        d for d in os.listdir(tmp_path / "unit") if d.startswith("shard-")
+    ]
+    assert len(shard_dirs) > 1  # 24 keys actually spread
+
+
+def _plant_legacy(root, namespace, key, blob):
+    """Write an entry in the pre-shard flat layout."""
+    legacy_dir = os.path.join(root, namespace, key[:2])
+    os.makedirs(legacy_dir, exist_ok=True)
+    with open(os.path.join(legacy_dir, key + ".pkl"), "wb") as fh:
+        fh.write(blob)
+
+
+def test_legacy_entries_migrate_lazily_on_read(tmp_path):
+    root = str(tmp_path)
+    key = content_key("legacy", 1)
+    _plant_legacy(root, "unit", key, pickle.dumps("old"))
+    disk = DiskTier(root, shards=16)
+    assert disk.migrations == 0
+    assert disk.get_blob("unit", key) == pickle.dumps("old")
+    assert disk.migrations == 1
+    # The entry now lives in its shard dir; the legacy copy is gone.
+    assert os.path.exists(disk._path("unit", key))
+    assert not os.path.exists(disk._legacy_path("unit", key))
+    # Second read comes straight from the sharded path.
+    assert disk.get_blob("unit", key) == pickle.dumps("old")
+    assert disk.migrations == 1
+
+
+def test_migrate_namespace_sweeps_flat_layout(tmp_path):
+    root = str(tmp_path)
+    planted = keys(20, salt="eager")
+    for key in planted:
+        _plant_legacy(root, "unit", key, pickle.dumps(key))
+    disk = DiskTier(root, shards=16)
+    assert disk.migrate_namespace("unit") == 20
+    assert disk.migrations == 20
+    for key in planted:
+        assert os.path.exists(disk._path("unit", key))
+        assert disk.get_blob("unit", key) == pickle.dumps(key)
+    # Legacy prefix dirs are cleaned up; only shard dirs remain.
+    leftovers = [
+        d for d in os.listdir(os.path.join(root, "unit"))
+        if not d.startswith("shard-")
+    ]
+    assert leftovers == []
+    # A second sweep is a no-op.
+    assert disk.migrate_namespace("unit") == 0
+
+
+def test_migrate_namespace_missing_namespace_is_noop(tmp_path):
+    disk = DiskTier(str(tmp_path), shards=16)
+    assert disk.migrate_namespace("ghost") == 0
+
+
+def test_entry_count_spans_both_layouts(tmp_path):
+    root = str(tmp_path)
+    disk = DiskTier(root, shards=16)
+    sharded = keys(5, salt="new")
+    for key in sharded:
+        disk.put_blob("unit", key, b"x")
+    legacy = keys(3, salt="old")
+    for key in legacy:
+        _plant_legacy(root, "unit", key, b"y")
+    assert disk.entry_count("unit") == 8
+
+
+def test_manager_single_shard_still_works(tmp_path):
+    manager = CacheManager(cache_dir=str(tmp_path), shards=1)
+    cache = manager.get("unit")
+    cache.put("somekey", {"v": 1})
+    hit, value = cache.get("somekey")
+    assert hit and value == {"v": 1}
+    with pytest.raises(ValueError):
+        CacheManager(shards=0)
+
+
+# -- cross-process same-key write race (satellite stress test) ---------
+
+
+def _race_writer(args):
+    root, namespace, key, worker, rounds = args
+    disk = DiskTier(root, shards=DEFAULT_SHARDS)
+    rng = random.Random(worker)
+    for round_no in range(rounds):
+        payload = {"worker": worker, "round": round_no}
+        disk.put_blob(namespace, key, pickle.dumps(payload))
+        if rng.random() < 0.5:
+            blob = disk.get_blob(namespace, key)
+            # A concurrent reader must never see a torn entry.
+            assert blob is not None
+            pickle.loads(blob)
+    return worker
+
+
+def test_cross_process_same_key_write_race(tmp_path):
+    """N processes hammer ONE key with writes + reads.  Atomic-rename
+    semantics must leave exactly one valid entry and never expose a
+    torn blob to any reader at any point."""
+    root = str(tmp_path)
+    key = content_key("contended")
+    workers, rounds = 4, 50
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(workers) as pool:
+        done = pool.map(
+            _race_writer,
+            [(root, "race", key, w, rounds) for w in range(workers)],
+        )
+    assert sorted(done) == list(range(workers))
+
+    disk = DiskTier(root, shards=DEFAULT_SHARDS)
+    shard_dir = os.path.dirname(disk._path("race", key))
+    entries = [f for f in os.listdir(shard_dir) if f.endswith(".pkl")]
+    leftovers = [f for f in os.listdir(shard_dir) if f.endswith(".tmp")]
+    assert entries == [key + ".pkl"]  # exactly one entry for the key
+    assert leftovers == []  # every temp file was renamed or unlinked
+    final = pickle.loads(disk.get_blob("race", key))
+    assert final["worker"] in range(workers)
+    assert final["round"] == rounds - 1  # someone's last write won
+
+
+def test_cross_process_distinct_keys_all_land(tmp_path):
+    """Different keys from different processes land in their shards
+    without interfering."""
+    root = str(tmp_path)
+    per_worker = 12
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(3) as pool:
+        pool.map(
+            _distinct_writer,
+            [(root, "spread", w, per_worker) for w in range(3)],
+        )
+    disk = DiskTier(root, shards=DEFAULT_SHARDS)
+    assert disk.entry_count("spread") == 3 * per_worker
+    for worker in range(3):
+        for i in range(per_worker):
+            key = content_key("spread", worker, i)
+            assert pickle.loads(disk.get_blob("spread", key)) == (worker, i)
+
+
+def _distinct_writer(args):
+    root, namespace, worker, count = args
+    disk = DiskTier(root, shards=DEFAULT_SHARDS)
+    for i in range(count):
+        key = content_key(namespace, worker, i)
+        disk.put_blob(namespace, key, pickle.dumps((worker, i)))

@@ -1,0 +1,129 @@
+"""HTTP framing unit tests (no sockets: StreamReader fed directly)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    MAX_BODY_BYTES,
+    json_response,
+    parse_response,
+    read_request,
+    response_bytes,
+)
+
+
+def read(raw: bytes):
+    async def body():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(body())
+
+
+def test_parses_post_with_body():
+    payload = json.dumps({"program": "gzip"}).encode()
+    raw = (
+        b"POST /protect HTTP/1.1\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(payload)).encode() + b"\r\n\r\n"
+    ) + payload
+    request = read(raw)
+    assert request.method == "POST"
+    assert request.path == "/protect"
+    assert request.json() == {"program": "gzip"}
+    assert request.keep_alive
+
+
+def test_parses_get_with_query():
+    request = read(b"GET /journal?request=r1&tenant=acme HTTP/1.1\r\n\r\n")
+    assert request.method == "GET"
+    assert request.path == "/journal"
+    assert request.query == {"request": "r1", "tenant": "acme"}
+    assert request.json() == {}
+
+
+def test_connection_close_header():
+    request = read(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+    assert not request.keep_alive
+
+
+def test_clean_eof_returns_none():
+    assert read(b"") is None
+
+
+def test_truncated_request_is_400():
+    with pytest.raises(HttpError) as err:
+        read(b"GET / HT")
+    assert err.value.status == 400
+
+
+def test_malformed_request_line_is_400():
+    with pytest.raises(HttpError) as err:
+        read(b"NONSENSE\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_malformed_header_is_400():
+    with pytest.raises(HttpError) as err:
+        read(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_oversized_body_is_413():
+    raw = (
+        b"POST /protect HTTP/1.1\r\nContent-Length: "
+        + str(MAX_BODY_BYTES + 1).encode()
+        + b"\r\n\r\n"
+    )
+    with pytest.raises(HttpError) as err:
+        read(raw)
+    assert err.value.status == 413
+
+
+def test_negative_content_length_is_400():
+    with pytest.raises(HttpError) as err:
+        read(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_invalid_json_body_is_400():
+    raw = b"POST /protect HTTP/1.1\r\nContent-Length: 3\r\n\r\nnot"
+    request = read(raw)
+    with pytest.raises(HttpError) as err:
+        request.json()
+    assert err.value.status == 400
+
+
+def test_non_object_json_body_is_400():
+    raw = b"POST /protect HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]"
+    request = read(raw)
+    with pytest.raises(HttpError) as err:
+        request.json()
+    assert err.value.status == 400
+
+
+def test_response_roundtrip_through_client_parser():
+    raw = json_response(
+        429, {"error": "slow down"}, {"Retry-After": "3"}, keep_alive=False
+    )
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status, headers = parse_response(head + b"\r\n\r\n", body)
+    assert status == 429
+    assert headers["retry-after"] == "3"
+    assert headers["connection"] == "close"
+    assert int(headers["content-length"]) == len(body)
+    assert json.loads(body) == {"error": "slow down"}
+
+
+def test_response_bytes_content_length_is_exact():
+    body = b"x" * 1234
+    raw = response_bytes(200, body, "text/plain")
+    head, _, got = raw.partition(b"\r\n\r\n")
+    assert got == body
+    assert b"Content-Length: 1234" in head
+    assert raw.startswith(b"HTTP/1.1 200 OK\r\n")

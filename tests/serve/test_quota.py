@@ -1,0 +1,87 @@
+"""Token-bucket quota semantics, driven by an injected clock."""
+
+from repro.serve.quota import QuotaManager, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_bucket_burst_then_rejects_with_retry_hint():
+    bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+    assert bucket.try_acquire(0.0) == 0.0
+    assert bucket.try_acquire(0.0) == 0.0
+    assert bucket.try_acquire(0.0) == 0.0
+    wait = bucket.try_acquire(0.0)
+    assert wait == 1.0  # one token refills in exactly 1s at rate=1
+
+
+def test_bucket_refills_at_rate():
+    bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+    assert bucket.try_acquire(0.0) == 0.0
+    assert bucket.try_acquire(0.0) == 0.0
+    assert bucket.try_acquire(0.0) > 0.0
+    # 0.5s at 2 tokens/s refills one token.
+    assert bucket.try_acquire(0.5) == 0.0
+    assert bucket.try_acquire(0.5) > 0.0
+
+
+def test_bucket_never_exceeds_burst():
+    bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+    bucket.try_acquire(0.0)
+    bucket.try_acquire(0.0)
+    # A long idle period must cap at burst, not accumulate unboundedly.
+    assert bucket.try_acquire(100.0) == 0.0
+    assert bucket.try_acquire(100.0) == 0.0
+    assert bucket.try_acquire(100.0) > 0.0
+
+
+def test_unlimited_rate_never_rejects():
+    bucket = TokenBucket(rate=0.0, burst=1.0, now=0.0)
+    assert all(bucket.try_acquire(0.0) == 0.0 for _ in range(100))
+    manager = QuotaManager(rate=0.0)
+    assert manager.unlimited
+    assert all(manager.try_acquire("t") == 0.0 for _ in range(100))
+    assert manager.tenants() == 0  # unlimited short-circuits the table
+
+
+def test_manager_isolates_tenants():
+    clock = FakeClock()
+    manager = QuotaManager(rate=1.0, burst=1.0, clock=clock)
+    assert manager.try_acquire("alice") == 0.0
+    assert manager.try_acquire("alice") > 0.0
+    # Bob's bucket is untouched by Alice's exhaustion.
+    assert manager.try_acquire("bob") == 0.0
+    assert manager.tenants() == 2
+
+
+def test_manager_refill_over_time():
+    clock = FakeClock()
+    manager = QuotaManager(rate=2.0, burst=2.0, clock=clock)
+    assert manager.try_acquire("t") == 0.0
+    assert manager.try_acquire("t") == 0.0
+    wait = manager.try_acquire("t")
+    assert wait == 0.5
+    clock.advance(wait)
+    assert manager.try_acquire("t") == 0.0
+
+
+def test_default_burst_is_twice_rate():
+    manager = QuotaManager(rate=4.0)
+    assert manager.burst == 8.0
+    assert QuotaManager(rate=0.25).burst == 1.0  # floored at 1
+
+
+def test_retry_after_header_rounds_up_with_floor():
+    manager = QuotaManager(rate=1.0)
+    assert manager.retry_after_header(0.1) == "1"
+    assert manager.retry_after_header(1.0) == "1"
+    assert manager.retry_after_header(1.2) == "2"
+    assert manager.retry_after_header(7.9) == "8"

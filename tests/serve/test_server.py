@@ -1,0 +1,276 @@
+"""End-to-end serving-layer tests over a real socket (thread executor).
+
+The heavyweight fixtures are module-scoped: one server instance backs
+all the read-mostly tests; dedicated short-lived servers cover quota,
+backpressure and drain, whose configs must differ.  Global state the
+server touches (telemetry, the cache manager) is snapshotted and
+restored so these tests leave no trace on the rest of the suite.
+"""
+
+import asyncio
+import base64
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.cache as cache_mod
+from repro import telemetry
+from repro.core import Parallax
+from repro.corpus import build_program_cached
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.serve.jobs import job_config, make_task
+from repro.serve.server import ProtectionServer
+
+
+@pytest.fixture(scope="module")
+def serve_env():
+    """Snapshot/restore the process-wide state the server mutates."""
+    old_manager = cache_mod._manager
+    with telemetry.telemetry_session(metrics=True, tracing=False, recorder=True):
+        yield
+    cache_mod._manager = old_manager
+
+
+@pytest.fixture(scope="module")
+def server(serve_env):
+    config = ServeConfig(port=0, executor="thread", jobs=2)
+    with ServerThread(config) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    c = ServeClient("127.0.0.1", server.port, timeout=180)
+    yield c
+    c.close()
+
+
+def direct_protect(kind="protect", program="gzip", **fields):
+    """The ground truth: run the pipeline directly, no server."""
+    task = make_task(kind, program, **fields)
+    return Parallax(job_config(task)).protect(build_program_cached(program))
+
+
+# -- basic routes -------------------------------------------------------
+
+
+def test_healthz(client):
+    status, _headers, payload = client.get("/healthz")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["executor"] == "thread"
+
+
+def test_protect_roundtrip_matches_direct_pipeline(client):
+    direct = direct_protect(program="gzip", seed=7)
+    status, headers, payload = client.job("protect", "gzip", seed=7)
+    assert status == 200
+    assert headers["x-singleflight"] in ("leader", "cache-hit")
+    assert payload["fingerprint"] == direct.image.fingerprint()
+    artifact = base64.b64decode(payload["artifact_b64"])
+    assert artifact == direct.image.canonical_bytes()
+    assert payload["chains"] == len(direct.report.chains)
+    assert payload["report"] == direct.report.to_dict()
+
+
+def test_repeat_request_is_cache_hit(client):
+    first = client.job("protect", "gzip", seed=11)
+    second = client.job("protect", "gzip", seed=11)
+    assert first[0] == second[0] == 200
+    assert second[1]["x-singleflight"] == "cache-hit"
+    assert first[2] == second[2]
+
+
+def test_verify_job(client):
+    status, _headers, payload = client.job("verify", "gzip", seed=0)
+    assert status == 200
+    assert payload["behaviour_preserved"] is True
+    assert payload["protected"]["crashed"] is False
+    assert payload["overhead_percent"] is not None
+
+
+def test_attack_matrix_job(client):
+    status, _headers, payload = client.job("attack-matrix", "gzip", seed=0)
+    assert status == 200
+    assert payload["all_detected"] is True
+    assert payload["attacks"]["static"]["detected"] is True
+    assert payload["attacks"]["wurster"]["detected"] is True
+
+
+def test_validation_errors_are_400(client):
+    assert client.job("protect", "nosuch")[0] == 400
+    assert client.post("/protect", {"program": "gzip", "strategy": "bogus"})[0] == 400
+    assert client.post("/protect", {"program": "gzip", "seed": "NaN"})[0] == 400
+
+
+def test_unknown_route_is_404(client):
+    assert client.get("/nope")[0] == 404
+    assert client.post("/nope", {})[0] == 404
+
+
+def test_unsupported_method_is_405(client):
+    assert client.request("PUT", "/protect", {"program": "gzip"})[0] == 405
+
+
+# -- the acceptance criterion: 100 concurrent identical requests -------
+
+
+def test_hundred_concurrent_identical_requests_execute_once(server):
+    direct = direct_protect(program="lame", seed=123)
+    expected = base64.b64encode(direct.image.canonical_bytes()).decode()
+
+    def one(_i):
+        with ServeClient("127.0.0.1", server.port, timeout=180) as c:
+            status, headers, payload = c.job("protect", "lame", seed=123)
+            return status, headers["x-singleflight"], payload["artifact_b64"]
+
+    with ThreadPoolExecutor(100) as pool:
+        results = list(pool.map(one, range(100)))
+
+    assert all(status == 200 for status, _role, _artifact in results)
+    roles = [role for _status, role, _artifact in results]
+    # Exactly one leader computed; everyone else coalesced onto it (or,
+    # for stragglers arriving after it finished, hit the cache it
+    # populated).  Either way the pipeline ran exactly once.
+    assert roles.count("leader") == 1, roles
+    assert set(roles) <= {"leader", "follower", "cache-hit"}
+    artifacts = {artifact for _status, _role, artifact in results}
+    assert artifacts == {expected}
+
+
+# -- observability routes ----------------------------------------------
+
+
+def test_metrics_endpoint_serves_prometheus_text(client):
+    client.job("protect", "gzip", seed=0, tenant="acme")
+    status, headers, text = client.get("/metrics")
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain")
+    assert "# TYPE" in text
+    assert "serve_singleflight_leader_total" in text
+    assert "serve_requests_total" in text
+    # Tenant labels flow from the request context into the exporter.
+    assert 'tenant="acme"' in text
+
+
+def test_stats_endpoint_exposes_windows_and_singleflight(client):
+    client.job("protect", "gzip", seed=1)
+    status, _headers, payload = client.get("/stats")
+    assert status == 200
+    assert payload["singleflight"]["leaders"] >= 1
+    assert "serve.request" in payload["windows"]
+    assert payload["windows"]["serve.request"]["count"] >= 1
+
+
+def test_journal_filters_by_request_label(client):
+    client.job("protect", "gzip", seed=2, tenant="acme", request="r-77")
+    client.job("protect", "gzip", seed=3, tenant="other")
+    status, headers, text = client.get("/journal?request=r-77")
+    assert status == 200
+    assert headers["content-type"] == "application/x-ndjson"
+    events = [json.loads(line) for line in text.strip().splitlines()]
+    assert events
+    assert all(e["ctx"]["request"] == "r-77" for e in events)
+    assert any(e["kind"] == "serve.request" for e in events)
+    # And the tenant filter slices the same journal differently.
+    _status, _h, other = client.get("/journal?tenant=other")
+    other_events = [json.loads(line) for line in other.strip().splitlines()]
+    assert other_events
+    assert all(e["ctx"]["tenant"] == "other" for e in other_events)
+
+
+# -- admission control --------------------------------------------------
+
+
+def test_quota_exhaustion_returns_429_with_retry_after(serve_env):
+    config = ServeConfig(
+        port=0, executor="thread", jobs=1, quota_rate=0.001, quota_burst=2
+    )
+    with ServerThread(config) as srv:
+        with ServeClient("127.0.0.1", srv.port, timeout=180) as c:
+            assert c.job("protect", "gzip", seed=0, tenant="t")[0] == 200
+            assert c.job("protect", "gzip", seed=0, tenant="t")[0] == 200
+            status, headers, payload = c.job(
+                "protect", "gzip", seed=0, tenant="t"
+            )
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert "quota" in payload["error"] or "over" in payload["error"]
+            # Another tenant is unaffected.
+            assert c.job("protect", "gzip", seed=0, tenant="u")[0] == 200
+
+
+def test_queue_backpressure_returns_429(serve_env):
+    config = ServeConfig(
+        port=0, executor="thread", jobs=1, queue_depth=1, batch_max=1
+    )
+    with ServerThread(config) as srv:
+
+        def one(seed):
+            with ServeClient("127.0.0.1", srv.port, timeout=180) as c:
+                status, headers, _payload = c.job("protect", "lame", seed=seed)
+                return status, headers
+
+        with ThreadPoolExecutor(6) as pool:
+            results = list(pool.map(one, range(6)))
+        statuses = [status for status, _headers in results]
+        assert 200 in statuses
+        assert 429 in statuses, statuses
+        for status, headers in results:
+            if status == 429:
+                assert int(headers["retry-after"]) >= 1
+
+
+# -- graceful drain -----------------------------------------------------
+
+
+def test_drain_finishes_inflight_and_journals_shutdown(serve_env):
+    async def body():
+        server = ProtectionServer(ServeConfig(port=0, executor="thread", jobs=1))
+        await server.start()
+        port = server.port
+        server.request_shutdown("test")
+        await server.run_until_shutdown()
+        return port
+
+    port = asyncio.run(body())
+    # The listener is gone after drain.
+    with pytest.raises(OSError):
+        with ServeClient("127.0.0.1", port, timeout=2) as c:
+            c.get("/healthz")
+    kinds = [e["kind"] for e in telemetry.get_recorder().iter_events()]
+    assert "serve.drain" in kinds
+    assert "serve.drained" in kinds
+
+
+def test_post_during_drain_is_503(serve_env):
+    async def body():
+        server = ProtectionServer(ServeConfig(port=0, executor="thread", jobs=1))
+        await server.start()
+        server._draining = True
+        from repro.serve.http import Request
+
+        request = Request(
+            "POST", "/protect", {}, {},
+            json.dumps({"program": "gzip"}).encode(),
+        )
+        response = await server._handle_request(request)
+        server._draining = False
+        server.request_shutdown("test")
+        await server.run_until_shutdown()
+        return response
+
+    response = asyncio.run(body())
+    assert response.startswith(b"HTTP/1.1 503 ")
+    assert b"Retry-After" in response
+
+
+def test_server_thread_stop_is_idempotent(serve_env):
+    config = ServeConfig(port=0, executor="thread", jobs=1)
+    srv = ServerThread(config)
+    with srv:
+        with ServeClient("127.0.0.1", srv.port, timeout=30) as c:
+            assert c.get("/healthz")[0] == 200
+        srv.stop()
+    srv.stop()  # exit + explicit double-stop must not raise

@@ -1,0 +1,120 @@
+"""The `repro top` serve lane: renders role mix, gauges, tenants and
+backpressure from a serve journal."""
+
+from repro.telemetry.top import TopDashboard
+
+
+def serve_event(seq, ts, role="leader", tenant="acme", seconds=0.05,
+                in_flight=2, queued=1, **extra):
+    event = {
+        "type": "event",
+        "seq": seq,
+        "ts": ts,
+        "kind": "serve.request",
+        "route": "/protect",
+        "program": "gzip",
+        "strategy": "cleartext",
+        "seconds": seconds,
+        "status": 200,
+        "singleflight": role,
+        "in_flight": in_flight,
+        "queued": queued,
+        "ctx": {"tenant": tenant},
+    }
+    event.update(extra)
+    return event
+
+
+def reject_event(seq, ts, reason="queue"):
+    return {
+        "type": "event",
+        "seq": seq,
+        "ts": ts,
+        "kind": "serve.reject",
+        "route": "/protect",
+        "reason": reason,
+    }
+
+
+def test_serve_lane_absent_without_serve_events():
+    dash = TopDashboard()
+    dash.feed({"type": "event", "seq": 1, "ts": 0.1, "kind": "protect"})
+    assert "serve" not in dash.render()
+
+
+def test_serve_lane_roles_and_coalesce_rate():
+    dash = TopDashboard()
+    seq = 0
+    for role, count in (("leader", 2), ("follower", 5), ("cache-hit", 3)):
+        for _ in range(count):
+            seq += 1
+            dash.feed(serve_event(seq, 0.1 * seq, role=role))
+    frame = dash.render()
+    assert "serve" in frame
+    assert "10" in frame  # total requests
+    assert "leader 2" in frame
+    assert "follower 5" in frame
+    assert "cache-hit 3" in frame
+    # 8 of 10 coalesced (everything that wasn't a leader).
+    assert "80.0%" in frame
+
+
+def test_serve_lane_gauges_track_latest_event():
+    dash = TopDashboard()
+    dash.feed(serve_event(1, 0.1, in_flight=7, queued=3))
+    dash.feed(serve_event(2, 0.2, in_flight=4, queued=0))
+    frame = dash.render()
+    assert "in flight 4" in frame
+    assert "queued 0" in frame
+
+
+def test_serve_lane_rejections_by_reason():
+    dash = TopDashboard()
+    dash.feed(serve_event(1, 0.1))
+    dash.feed(reject_event(2, 0.2, reason="queue"))
+    dash.feed(reject_event(3, 0.3, reason="queue"))
+    dash.feed(reject_event(4, 0.4, reason="quota"))
+    frame = dash.render()
+    assert "rejected 3" in frame
+    assert "queue 2" in frame
+    assert "quota 1" in frame
+
+
+def test_serve_lane_rejections_render_even_without_successes():
+    dash = TopDashboard()
+    dash.feed(reject_event(1, 0.1, reason="draining"))
+    frame = dash.render()
+    assert "rejected 1" in frame
+    assert "draining 1" in frame
+
+
+def test_serve_lane_per_tenant_throughput():
+    dash = TopDashboard(window_seconds=30.0)
+    seq = 0
+    for i in range(8):
+        seq += 1
+        dash.feed(serve_event(seq, 0.1 * seq, tenant="acme", seconds=0.02))
+    for i in range(3):
+        seq += 1
+        dash.feed(serve_event(seq, 0.1 * seq, tenant="beta", seconds=0.5))
+    frame = dash.render()
+    assert "tenants" in frame
+    acme_line = next(l for l in frame.splitlines() if "acme" in l)
+    beta_line = next(l for l in frame.splitlines() if "beta" in l)
+    assert "8 req" in acme_line
+    assert "3 req" in beta_line
+    # Latency percentiles ride along per tenant.
+    assert "p95" in acme_line
+
+
+def test_serve_lane_latency_from_throughput_table():
+    """serve.request also shows in the generic throughput table with
+    its p50/p95 columns (fed by the `seconds` field)."""
+    dash = TopDashboard()
+    for seq in range(1, 6):
+        dash.feed(serve_event(seq, 0.1 * seq, seconds=0.1))
+    frame = dash.render()
+    line = next(
+        l for l in frame.splitlines() if l.strip().startswith("serve.request")
+    )
+    assert "p50" in line and "100.00ms" in line
